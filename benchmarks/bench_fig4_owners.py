@@ -1,0 +1,50 @@
+"""Fig. 4 — server processing time vs number of DB owners (Exp 2).
+
+Paper shape: linear growth in the owner count for every operation.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import build_system
+
+OWNER_COUNTS = (5, 10, 20)
+
+
+def bench_domain() -> int:
+    return int(os.environ.get("REPRO_BENCH_DOMAIN", "4096"))
+
+
+@pytest.fixture(scope="module", params=OWNER_COUNTS)
+def sized_system(request):
+    return request.param, build_system(num_owners=request.param,
+                                       domain_size=bench_domain(), seed=7)
+
+
+def test_fig4_psi(benchmark, sized_system):
+    m, system = sized_system
+    benchmark.group = "fig4:PSI"
+    benchmark.extra_info["owners"] = m
+    benchmark(system.psi, "OK")
+
+
+def test_fig4_psu(benchmark, sized_system):
+    m, system = sized_system
+    benchmark.group = "fig4:PSU"
+    benchmark.extra_info["owners"] = m
+    benchmark(system.psu, "OK")
+
+
+def test_fig4_psi_sum(benchmark, sized_system):
+    m, system = sized_system
+    benchmark.group = "fig4:PSI Sum"
+    benchmark.extra_info["owners"] = m
+    benchmark(system.psi_sum, "OK", "DT")
+
+
+def test_fig4_psi_count(benchmark, sized_system):
+    m, system = sized_system
+    benchmark.group = "fig4:PSI Count"
+    benchmark.extra_info["owners"] = m
+    benchmark(system.psi_count, "OK")

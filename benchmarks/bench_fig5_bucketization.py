@@ -1,0 +1,52 @@
+"""Fig. 5 — bucketization impact vs fill factor (Exp 4).
+
+Paper shape: the actual domain size (nodes PSI executes on) collapses as
+the fill factor drops; at 100% fill the tree costs slightly *more* than
+the flat domain (the open-problem overhead the paper notes).
+"""
+
+import pytest
+
+from repro import Domain, PrismSystem, Relation
+from repro.core.bucketized import simulate_actual_domain_size
+
+FILL_FACTORS = (1.0, 0.1, 0.01, 0.001)
+
+
+@pytest.mark.parametrize("fill", FILL_FACTORS)
+def test_fig5_counting_model(benchmark, fill):
+    benchmark.group = "fig5:model"
+    benchmark.extra_info["fill_factor"] = fill
+    actual = benchmark(simulate_actual_domain_size, 1_000_000, 10, fill, 7)
+    assert actual > 0
+
+
+@pytest.fixture(scope="module")
+def sparse_bucket_system():
+    domain = Domain.integer_range("A", 4096)
+    sets = [{5, 77, 1030, 4000}, {5, 77, 2048, 4000}]
+    relations = [Relation(f"o{i}", {"A": sorted(s)})
+                 for i, s in enumerate(sets)]
+    system = PrismSystem.build(relations, domain, "A", seed=7)
+    system.outsource_bucketized("A", fanout=8)
+    return system
+
+
+def test_fig5_bucketized_psi_protocol(benchmark, sparse_bucket_system):
+    benchmark.group = "fig5:protocol"
+    result, stats = benchmark(sparse_bucket_system.bucketized_psi, "A")
+    assert set(result.values) == {5, 77, 4000}
+    # Sparse data: far fewer nodes examined than the flat domain.
+    assert stats["actual_domain_size"] < 4096 / 4
+
+
+def test_fig5_flat_psi_reference(benchmark, sparse_bucket_system):
+    benchmark.group = "fig5:protocol"
+    result = benchmark(sparse_bucket_system.psi, "A")
+    assert set(result.values) == {5, 77, 4000}
+
+
+def test_fig5_shape_monotone():
+    sizes = [simulate_actual_domain_size(1_000_000, 10, f, seed=7)
+             for f in FILL_FACTORS]
+    assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,57 @@
+"""§8.1 prose — share-generation (outsourcing) time.
+
+Paper shape: generating the five data columns dominates; each additional
+verification column costs a roughly constant increment.
+"""
+
+import os
+
+import pytest
+
+from repro import PrismSystem
+from repro.data.tpch import generate_fleet, lineitem_domain
+
+
+def bench_domain() -> int:
+    return int(os.environ.get("REPRO_BENCH_DOMAIN", "4096"))
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    domain = lineitem_domain(bench_domain())
+    relations = generate_fleet(2, domain, rows_per_owner=bench_domain() // 4,
+                               seed=7)
+    return domain, relations
+
+
+def test_sharegen_data_columns(benchmark, fleet):
+    benchmark.group = "sharegen"
+    domain, relations = fleet
+
+    def outsource():
+        system = PrismSystem(relations, domain, seed=7, value_bound=100_000)
+        system.outsource("OK", ("DT", "PK", "LN", "SK"), False)
+
+    benchmark(outsource)
+
+
+def test_sharegen_with_verification_columns(benchmark, fleet):
+    benchmark.group = "sharegen"
+    domain, relations = fleet
+
+    def outsource():
+        system = PrismSystem(relations, domain, seed=7, value_bound=100_000)
+        system.outsource("OK", ("DT", "PK", "LN", "SK"), True)
+
+    benchmark(outsource)
+
+
+def test_sharegen_additive_only(benchmark, fleet):
+    benchmark.group = "sharegen"
+    domain, relations = fleet
+
+    def outsource():
+        system = PrismSystem(relations, domain, seed=7, value_bound=100_000)
+        system.outsource("OK", (), False)
+
+    benchmark(outsource)

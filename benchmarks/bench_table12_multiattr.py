@@ -1,0 +1,31 @@
+"""Table 12 — multi-column aggregation cost (Exp 1).
+
+Paper shape: sum/max time grows roughly linearly with the number of
+aggregation attributes (1–4), from the extra Eq. 11 sweeps.
+"""
+
+import pytest
+
+ATTRS = ("DT", "PK", "LN", "SK")
+
+
+@pytest.mark.parametrize("k", (1, 2, 3, 4))
+def test_table12_sum_over_k_attributes(benchmark, system10, k):
+    benchmark.group = "table12:sum"
+    benchmark.extra_info["attributes"] = k
+    benchmark(system10.psi_sum, "OK", list(ATTRS[:k]))
+
+
+@pytest.mark.parametrize("k", (1, 2, 3, 4))
+def test_table12_max_over_k_attributes(benchmark, system10, k):
+    benchmark.group = "table12:max"
+    benchmark.extra_info["attributes"] = k
+    common = [system10.psi("OK").values[0]]
+
+    def run():
+        system10.psi("OK")  # round 1 once per query
+        for attr in ATTRS[:k]:
+            system10.psi_max("OK", attr, reveal_holders=False,
+                             common_values=common)
+
+    benchmark(run)

@@ -1,0 +1,74 @@
+"""Table 13 — Prism vs baseline approach families (2 DB owners).
+
+Paper shape: Prism is orders of magnitude faster than public-key-crypto
+PSI at equal element counts, slower than the insecure plaintext baseline,
+and the only row with verification support and no server communication.
+"""
+
+import pytest
+
+from repro.baselines.bloom import bloom_psi
+from repro.baselines.freedman import FreedmanPSI
+from repro.baselines.naive import plaintext_intersection
+
+
+@pytest.fixture(scope="module")
+def owner_sets(system2):
+    return [rel.distinct("OK") for rel in system2.relations]
+
+
+def test_table13_prism_psi(benchmark, system2):
+    benchmark.group = "table13"
+    result = benchmark(system2.psi, "OK")
+    assert result.values
+
+
+def test_table13_prism_psi_verified(benchmark):
+    from repro.bench.harness import build_system
+    system = build_system(num_owners=2, domain_size=4096,
+                          with_verification=True, seed=7)
+    benchmark.group = "table13"
+    result = benchmark(system.psi, "OK", verify=True)
+    assert result.verified
+
+
+def test_table13_freedman_small_n(benchmark, owner_sets):
+    # O(n^2) Paillier exponentiations: run at n=64 and compare per-element.
+    benchmark.group = "table13"
+    small = [sorted(owner_sets[0])[:64], sorted(owner_sets[1])[:64]]
+    psi = FreedmanPSI(key_bits=96, seed=7)
+    benchmark(psi.intersect, small[0], small[1])
+
+
+def test_table13_dh_psi(benchmark, owner_sets):
+    from repro.baselines.dh_psi import dh_psi
+    benchmark.group = "table13"
+    small = [sorted(owner_sets[0])[:256], sorted(owner_sets[1])[:256]]
+    benchmark(dh_psi, small[0], small[1])
+
+
+def test_table13_bloom(benchmark, owner_sets):
+    benchmark.group = "table13"
+    benchmark(bloom_psi, owner_sets)
+
+
+def test_table13_plaintext(benchmark, owner_sets):
+    benchmark.group = "table13"
+    benchmark(plaintext_intersection, owner_sets)
+
+
+def test_table13_shape_prism_beats_freedman(system2, owner_sets):
+    """The comparison's headline: per-element, Prism >> Freedman."""
+    import time
+
+    start = time.perf_counter()
+    system2.psi("OK")
+    prism_per_element = (time.perf_counter() - start) / system2.domain.size
+
+    small = [sorted(owner_sets[0])[:48], sorted(owner_sets[1])[:48]]
+    psi = FreedmanPSI(key_bits=96, seed=7)
+    start = time.perf_counter()
+    psi.intersect(small[0], small[1])
+    freedman_per_element = (time.perf_counter() - start) / 48
+
+    assert freedman_per_element > 10 * prism_per_element

@@ -1,0 +1,38 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Sizes are deliberately small (a few thousand χ cells) so the whole suite
+finishes in minutes; the one-shot harness (``python -m repro.bench``)
+is the tool for paper-scale sweeps.  Set ``REPRO_BENCH_DOMAIN`` to grow
+the benchmark domain.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import build_system
+
+
+def bench_domain() -> int:
+    return int(os.environ.get("REPRO_BENCH_DOMAIN", "4096"))
+
+
+@pytest.fixture(scope="module")
+def system10():
+    """10 owners over the benchmark domain (the Exp 1 configuration)."""
+    return build_system(num_owners=10, domain_size=bench_domain(), seed=7)
+
+
+@pytest.fixture(scope="module")
+def system10_verified():
+    """10 owners with verification columns outsourced."""
+    return build_system(num_owners=10, domain_size=bench_domain(),
+                        with_verification=True, seed=7)
+
+
+@pytest.fixture(scope="module")
+def system2():
+    """2 owners (the Table 13 comparison configuration)."""
+    return build_system(num_owners=2, domain_size=bench_domain(), seed=7)

@@ -1,0 +1,54 @@
+"""A file-based workflow: owners load CSVs, query, export results.
+
+Simulates the operational loop a real deployment would script: each
+organisation exports its table to CSV, the Prism client loads the files,
+runs verified queries, and writes the result back out as CSV.
+
+Run:  python examples/csv_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Domain, PrismSystem, Relation, read_relation_csv, \
+    write_relation_csv
+
+workdir = Path(tempfile.mkdtemp(prefix="prism_csv_"))
+
+# --- each organisation dumps its private table to its own file -------------
+source_tables = {
+    "clinic_north": {"disease": ["Cancer", "Cancer", "Heart"],
+                     "cost": [100, 200, 300]},
+    "clinic_south": {"disease": ["Cancer", "Fever"],
+                     "cost": [150, 80]},
+    "clinic_east": {"disease": ["Cancer", "Heart", "Heart"],
+                    "cost": [250, 90, 110]},
+}
+paths = []
+for name, columns in source_tables.items():
+    path = workdir / f"{name}.csv"
+    write_relation_csv(Relation(name, columns), path)
+    paths.append(path)
+print(f"wrote {len(paths)} owner CSVs under {workdir}")
+
+# --- load, deploy, query ----------------------------------------------------
+relations = [read_relation_csv(p) for p in paths]
+domain = Domain("disease", ["Cancer", "Fever", "Heart"])
+system = PrismSystem.build(relations, domain, psi_attribute="disease",
+                           agg_attributes=("cost",), with_verification=True,
+                           seed=42)
+
+common = system.psi("disease", verify=True)
+sums = system.psi_sum("disease", "cost", verify=True)["cost"]
+print(f"common diseases (verified): {common.values}")
+print(f"combined cost per common disease: {sums.per_value}")
+
+# --- export the (shareable) result ------------------------------------------
+result_relation = Relation("psi_sum_result", {
+    "disease": list(sums.per_value),
+    "total_cost": list(sums.per_value.values()),
+})
+out_path = workdir / "result.csv"
+write_relation_csv(result_relation, out_path)
+print(f"result written to {out_path}:")
+print(out_path.read_text().strip())

@@ -1,0 +1,76 @@
+"""Syndromic surveillance across pharmacies and hospitals (§1's use case).
+
+Twelve organisations — pharmacies tracking drug sales spikes, hospitals
+tracking telehealth calls — want early warning of a community outbreak:
+which syndrome indicators are elevated at *every* site this week, and how
+large is the combined signal?  None of them may reveal their raw counts.
+
+The script runs PSI to find the indicators elevated everywhere, PSI-Sum
+for the combined case counts on those indicators, PSI-Max to find the
+peak single-site count (and which sites peaked, via the identity round),
+and a verified count so a tampering cloud server would be caught.
+
+Run:  python examples/syndromic_surveillance.py
+"""
+
+import numpy as np
+
+from repro import Domain, PrismSystem, Relation
+
+INDICATORS = [
+    "analgesic_sales", "antiviral_sales", "cough_syrup_sales",
+    "fever_telehealth", "gi_telehealth", "rash_telehealth",
+    "school_absence", "work_absence", "er_respiratory",
+    "er_gi", "pharmacy_mask_sales", "thermometer_sales",
+]
+
+rng = np.random.default_rng(20_21)
+NUM_SITES = 12
+
+# Every site reports the indicators it flagged as elevated this week,
+# with per-indicator case counts.  A respiratory outbreak is brewing:
+# three indicators are elevated at every site.
+OUTBREAK = ["fever_telehealth", "er_respiratory", "analgesic_sales"]
+
+relations = []
+for site in range(NUM_SITES):
+    extra = [i for i in INDICATORS if i not in OUTBREAK
+             and rng.random() < 0.4]
+    flagged = OUTBREAK + extra
+    counts = [int(rng.integers(20, 400)) for _ in flagged]
+    relations.append(Relation(f"site{site}", {
+        "indicator": flagged,
+        "cases": counts,
+    }))
+
+domain = Domain("indicator", INDICATORS)
+system = PrismSystem.build(
+    relations, domain, psi_attribute="indicator",
+    agg_attributes=("cases",), with_verification=True, seed=7,
+)
+
+print(f"{NUM_SITES} sites, {len(INDICATORS)} syndromic indicators\n")
+
+elevated = system.psi("indicator", verify=True)
+print(f"Indicators elevated at EVERY site (verified): "
+      f"{sorted(elevated.values)}")
+
+totals = system.psi_sum("indicator", "cases", verify=True)["cases"]
+print("Combined case counts on those indicators:")
+for indicator, total in sorted(totals.per_value.items()):
+    print(f"  {indicator:>20}: {total}")
+
+peak = system.psi_max("indicator", "cases")
+for indicator in sorted(peak.per_value):
+    sites = ", ".join(f"site{i}" for i in peak.holders[indicator])
+    print(f"Peak single-site count for {indicator}: "
+          f"{peak.per_value[indicator]} (at {sites})")
+
+# A cardinality-only query: how many indicators fire everywhere, without
+# revealing which (e.g. for a public dashboard threshold).
+count = system.psi_count("indicator", verify=True)
+print(f"\nNumber of system-wide elevated indicators (positions hidden): "
+      f"{count.count}")
+
+union = system.psu_count("indicator")
+print(f"Number of indicators elevated at at-least-one site: {union.count}")

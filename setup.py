@@ -1,0 +1,5 @@
+"""Setuptools shim (the build configuration lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

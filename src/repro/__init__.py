@@ -1,0 +1,63 @@
+"""Reproduction of *Prism: Private Verifiable Set Computation over
+Multi-Owner Outsourced Databases* (Li et al., SIGMOD 2021).
+
+Public API highlights:
+
+* :class:`repro.PrismSystem` — a full in-process deployment (owners,
+  servers, announcer) with one method per supported query.
+* :class:`repro.Relation` / :class:`repro.Domain` — the data substrate.
+* :func:`repro.run_query` — the SQL dialect of Table 4.
+* :mod:`repro.baselines` — from-scratch comparison systems (Paillier,
+  Freedman PSI, Bloom-filter PSI, plaintext).
+* :mod:`repro.bench` — the experiment harness regenerating every figure
+  and table of the paper's evaluation (§8).
+"""
+
+from repro.core.query import parse_query, run_query
+from repro.core.results import (
+    AggregateResult,
+    CountResult,
+    ExtremaResult,
+    MedianResult,
+    SetResult,
+)
+from repro.core.system import PrismSystem
+from repro.data.csv_io import read_relation_csv, write_relation_csv
+from repro.data.domain import Domain, HashedDomain, ProductDomain
+from repro.data.relation import Relation
+from repro.exceptions import (
+    DomainError,
+    ParameterError,
+    PrismError,
+    ProtocolError,
+    QueryError,
+    ShareError,
+    VerificationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateResult",
+    "CountResult",
+    "Domain",
+    "DomainError",
+    "HashedDomain",
+    "ExtremaResult",
+    "MedianResult",
+    "ParameterError",
+    "PrismError",
+    "PrismSystem",
+    "ProductDomain",
+    "ProtocolError",
+    "QueryError",
+    "Relation",
+    "SetResult",
+    "ShareError",
+    "VerificationError",
+    "parse_query",
+    "read_relation_csv",
+    "run_query",
+    "write_relation_csv",
+    "__version__",
+]

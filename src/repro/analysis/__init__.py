@@ -1,0 +1,39 @@
+"""Security-claim validation and cost analysis.
+
+* :mod:`repro.analysis.uniformity` — statistical checks that shares are
+  uniform and independent of the secrets (§3.4's secrecy).
+* :mod:`repro.analysis.access` — access-pattern obliviousness traces.
+* :mod:`repro.analysis.cost` — the analytical communication/operation
+  cost model (validated to the byte by tests).
+"""
+
+from repro.analysis.access import (
+    AccessEvent,
+    RecordingServer,
+    access_trace,
+    recording_factories,
+    reset_traces,
+    traces_identical,
+)
+from repro.analysis.cost import CostEstimate, CostModel
+from repro.analysis.uniformity import (
+    chi_squared_uniformity,
+    generator_ambiguity,
+    indicator_share_leakage,
+    shares_independent_of_secret,
+)
+
+__all__ = [
+    "AccessEvent",
+    "CostEstimate",
+    "CostModel",
+    "RecordingServer",
+    "access_trace",
+    "chi_squared_uniformity",
+    "generator_ambiguity",
+    "indicator_share_leakage",
+    "recording_factories",
+    "reset_traces",
+    "shares_independent_of_secret",
+    "traces_identical",
+]

@@ -1,0 +1,78 @@
+"""Access-pattern obliviousness checks (§3.4).
+
+Prism's servers must behave identically regardless of the data: same
+columns fetched, same lengths swept, same output sizes — so a server
+(or a network observer) learns nothing from *how* a query executes.
+:class:`RecordingServer` instruments the fetch layer; :func:`access_trace`
+and :func:`traces_identical` turn that into a testable property: run the
+same query over *different* datasets and require byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.entities.server import PrismServer
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessEvent:
+    """One observable server-side data access."""
+
+    kind: str        # "fetch-additive" | "fetch-shamir"
+    column: str
+    num_owners: int
+    vector_length: int
+
+
+class RecordingServer(PrismServer):
+    """A server that logs every share fetch it performs."""
+
+    def __init__(self, index, params):
+        super().__init__(index, params)
+        self.trace: list[AccessEvent] = []
+
+    def fetch_additive(self, column, owner_ids=None):
+        shares = super().fetch_additive(column, owner_ids)
+        self.trace.append(AccessEvent(
+            "fetch-additive", column, len(shares), int(shares[0].shape[0])))
+        return shares
+
+    def fetch_shamir(self, column, owner_ids=None):
+        shares = super().fetch_shamir(column, owner_ids)
+        self.trace.append(AccessEvent(
+            "fetch-shamir", column, len(shares), int(shares[0].shape[0])))
+        return shares
+
+    def reset_trace(self) -> None:
+        self.trace = []
+
+
+def recording_factories(indices=(0, 1, 2)) -> dict:
+    """``server_factories`` mapping that installs recording servers."""
+    return {i: RecordingServer for i in indices}
+
+
+def access_trace(system) -> list[list[AccessEvent]]:
+    """The per-server access traces of a deployment (recording servers)."""
+    traces = []
+    for server in system.servers:
+        if isinstance(server, RecordingServer):
+            traces.append(list(server.trace))
+    return traces
+
+
+def reset_traces(system) -> None:
+    """Clear all recording servers' traces (between queries)."""
+    for server in system.servers:
+        if isinstance(server, RecordingServer):
+            server.reset_trace()
+
+
+def traces_identical(system_a, system_b) -> bool:
+    """True iff both deployments produced byte-identical access traces.
+
+    The obliviousness property: executing the same query shape over
+    different *data* must be indistinguishable at the servers.
+    """
+    return access_trace(system_a) == access_trace(system_b)

@@ -1,0 +1,138 @@
+"""Analytical cost model for Prism queries (the O(m·X) column of Table 13).
+
+Predicts, from the deployment parameters alone, the exact query-time
+communication volume and the dominant server-side operation counts for
+each operator.  The byte predictions are *exact* for the set-membership
+operators (tests assert equality against the transport's measurements);
+the operation counts are the asymptotic terms the paper reports.
+
+Word size is 8 bytes (int64 share vectors) throughout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.exceptions import QueryError
+
+WORD = 8  # bytes per share-vector element
+
+
+@dataclasses.dataclass(frozen=True)
+class CostEstimate:
+    """Predicted per-query costs.
+
+    Attributes:
+        server_to_owner_bytes: query-time result traffic.
+        owner_to_server_bytes: query-time request traffic (z shares etc.).
+        server_ops: dominant per-server operation count (adds + lookups).
+        rounds: owner↔server communication rounds.
+    """
+
+    server_to_owner_bytes: int
+    owner_to_server_bytes: int
+    server_ops: int
+    rounds: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.server_to_owner_bytes + self.owner_to_server_bytes
+
+
+class CostModel:
+    """Cost formulas for a deployment of ``m`` owners over ``b`` cells.
+
+    Args:
+        num_owners: ``m``.
+        domain_size: ``b`` (χ-table length).
+    """
+
+    def __init__(self, num_owners: int, domain_size: int):
+        if num_owners < 2 or domain_size < 1:
+            raise QueryError("need m >= 2 owners and a non-empty domain")
+        self.m = num_owners
+        self.b = domain_size
+
+    # -- query-time costs ---------------------------------------------------
+
+    def psi(self, verify: bool = False) -> CostEstimate:
+        """PSI (§5.1): 2 servers broadcast b words to m owners; the
+        verification stream doubles the result traffic."""
+        streams = 2 if verify else 1
+        return CostEstimate(
+            server_to_owner_bytes=streams * 2 * self.m * self.b * WORD,
+            owner_to_server_bytes=0,
+            server_ops=streams * self.m * self.b,
+            rounds=1,
+        )
+
+    def psu(self, verify: bool = False) -> CostEstimate:
+        """PSU (§7): identical traffic shape to PSI."""
+        return self.psi(verify)
+
+    def count(self, verify: bool = False) -> CostEstimate:
+        """PSI-Count (§6.5): PSI plus a server-side permutation."""
+        base = self.psi(verify)
+        return dataclasses.replace(base, server_ops=base.server_ops + self.b)
+
+    def aggregate(self, num_attributes: int = 1, average: bool = False,
+                  verify: bool = False) -> CostEstimate:
+        """PSI/PSU sum or average (§6.1–6.2), over k attributes.
+
+        Round 1 is a PSI; round 2 ships 3 z-share vectors up and one
+        result vector per (server, attribute[, count column][, verified
+        copy]) down.
+        """
+        if num_attributes < 1:
+            raise QueryError("need at least one aggregation attribute")
+        psi = self.psi()
+        columns = num_attributes * (2 if verify else 1) + (1 if average else 0)
+        z_vectors = 2 if verify else 1
+        return CostEstimate(
+            server_to_owner_bytes=(psi.server_to_owner_bytes
+                                   + 3 * columns * self.m * self.b * WORD),
+            owner_to_server_bytes=3 * z_vectors * self.b * WORD,
+            server_ops=psi.server_ops + 3 * columns * self.m * self.b,
+            rounds=2,
+        )
+
+    def extrema(self, num_common: int = 1, reveal_holders: bool = True
+                ) -> CostEstimate:
+        """PSI max/min (§6.3): PSI plus per-common-value announcer rounds.
+
+        Blinded values are big ints of data-dependent width, so the
+        extrema bytes are an *estimate* (each counted as one word).
+        """
+        psi = self.psi()
+        per_value_up = 2 * self.m * WORD          # owner shares to servers
+        per_value_down = 2 * self.m * WORD * 2    # value+index via servers
+        if reveal_holders:
+            per_value_up += 2 * self.m * WORD     # alpha shares
+            per_value_down += 2 * self.m * self.m * WORD  # fpos vectors
+        return CostEstimate(
+            server_to_owner_bytes=(psi.server_to_owner_bytes
+                                   + num_common * per_value_down),
+            owner_to_server_bytes=num_common * per_value_up,
+            server_ops=psi.server_ops + num_common * self.m,
+            rounds=1 + (2 if reveal_holders else 1) * num_common,
+        )
+
+    def outsourcing(self, num_agg_attributes: int = 0,
+                    with_verification: bool = False) -> int:
+        """One-time Phase-1 upload bytes across all owners.
+
+        χ to 2 servers; with verification also χ̄, the two count-stream
+        tables, and permuted copies of every aggregation column; every
+        aggregation column and the count column go to 3 servers.
+        """
+        additive_tables = 1 + (3 if with_verification else 0)
+        per_owner = additive_tables * 2 * self.b * WORD
+        if num_agg_attributes:
+            shamir_columns = num_agg_attributes * (2 if with_verification
+                                                   else 1) + 1
+            per_owner += shamir_columns * 3 * self.b * WORD
+        return self.m * per_owner
+
+    def complexity_class(self) -> str:
+        """The Table 13 asymptotic: O(m · X) with X the domain size."""
+        return f"O(m*X) = O({self.m} * {self.b})"

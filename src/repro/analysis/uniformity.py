@@ -1,0 +1,117 @@
+"""Statistical validation of the secrecy claims (§3.4).
+
+Secret-sharing security rests on individual shares being uniform and
+independent of the secret.  These helpers let tests (and paranoid users)
+check that *empirically* on this implementation:
+
+* :func:`chi_squared_uniformity` — are observed share values uniform over
+  the group?
+* :func:`shares_independent_of_secret` — do the share distributions for
+  two different secrets coincide (two-sample Kolmogorov–Smirnov)?
+* :func:`indicator_share_leakage` — the Prism-specific question: can a
+  single server distinguish χ cells holding 1 from cells holding 0 by
+  looking at its share vector?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ParameterError
+
+
+def chi_squared_uniformity(values: np.ndarray, modulus: int) -> float:
+    """P-value of a chi-squared test of uniformity over ``Z_modulus``.
+
+    A healthy sharing scheme yields p-values that are themselves uniform;
+    tests assert ``p > alpha`` for a small ``alpha`` (a *low* p-value
+    means the distribution visibly deviates from uniform).
+
+    Args:
+        values: observed share values.
+        modulus: group order.
+
+    Raises:
+        ParameterError: if there are too few observations per bucket for
+            the chi-squared approximation (< 5 expected per value).
+    """
+    values = np.asarray(values)
+    if values.size < 5 * modulus:
+        raise ParameterError(
+            f"need at least {5 * modulus} observations for modulus "
+            f"{modulus}, got {values.size}"
+        )
+    counts = np.bincount(np.mod(values, modulus).astype(np.int64),
+                         minlength=modulus)
+    return float(stats.chisquare(counts).pvalue)
+
+
+def shares_independent_of_secret(shares_for_a: np.ndarray,
+                                 shares_for_b: np.ndarray) -> float:
+    """KS-test p-value that two share samples come from one distribution.
+
+    Feed it share vectors generated for two *different* secrets: a high
+    p-value means a share reveals nothing about which secret it hides.
+    """
+    return float(stats.ks_2samp(np.asarray(shares_for_a),
+                                np.asarray(shares_for_b)).pvalue)
+
+
+def indicator_share_leakage(owner, attributes) -> float:
+    """Can one server's χ share vector distinguish 1-cells from 0-cells?
+
+    Splits the owner's first additive share by the true indicator value
+    and KS-tests the two samples.  Returns the p-value; values far below
+    0.01 would indicate the share encodes the indicator — the share
+    randomness is broken.
+
+    Args:
+        owner: a :class:`~repro.entities.owner.DBOwner` with a relation.
+        attributes: the PSI attribute(s) to build χ from.
+    """
+    chi = owner.build_indicator(attributes)
+    share = owner.additive_shares_of(chi)[0]
+    ones = share[chi == 1]
+    zeros = share[chi == 0]
+    if ones.size == 0 or zeros.size == 0:
+        raise ParameterError(
+            "need both present and absent cells to compare distributions"
+        )
+    return float(stats.ks_2samp(ones, zeros).pvalue)
+
+
+def generator_ambiguity(fop_value: int, eta: int, delta: int) -> int:
+    """How many (generator, count) hypotheses explain one PSI output cell.
+
+    The §5.1 lemma: an owner seeing a non-1 value ``beta = g^(k - m)``
+    cannot learn ``k`` (how many owners hold the value) without knowing
+    ``g``.  This counts, over every candidate generator of the
+    order-``delta`` subgroup, the exponent it would imply — each distinct
+    candidate yields a different ``k``, so the hypothesis count equals
+    the number of generators the owner cannot tell apart.
+
+    Returns the number of distinct exponents consistent with
+    ``fop_value``; security expects ``delta - 1`` (all non-zero shifts).
+    """
+    from repro.crypto.groups import find_subgroup_generator, subgroup_elements
+
+    g = find_subgroup_generator(eta, delta)
+    elements = subgroup_elements(g, delta, eta)
+    if fop_value % eta not in elements:
+        raise ParameterError(f"{fop_value} is not in the order-{delta} "
+                             f"subgroup mod {eta}")
+    consistent_exponents = set()
+    for candidate in elements:
+        # candidate generates the subgroup iff its order is delta
+        # (every non-identity element of a prime-order group does).
+        if candidate == 1:
+            continue
+        # Find the exponent of fop_value base `candidate`.
+        x = 1
+        for exponent in range(delta):
+            if x == fop_value % eta:
+                consistent_exponents.add(exponent)
+                break
+            x = (x * candidate) % eta
+    return len(consistent_exponents)

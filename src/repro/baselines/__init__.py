@@ -1,0 +1,38 @@
+"""Comparison baselines for Table 13: from-scratch implementations of the
+competing approach families (homomorphic-encryption PSI, Bloom-filter PSI,
+and the insecure plaintext lower bound)."""
+
+from repro.baselines.bloom import BloomFilter, bloom_psi
+from repro.baselines.dh_psi import DHPsiParty, dh_multiparty, dh_psi
+from repro.baselines.freedman import (
+    FreedmanPSI,
+    multiparty_intersect,
+    polynomial_from_roots,
+)
+from repro.baselines.naive import (
+    plaintext_intersection,
+    plaintext_psi_sum,
+    plaintext_union,
+)
+from repro.baselines.paillier import (
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+
+__all__ = [
+    "BloomFilter",
+    "DHPsiParty",
+    "FreedmanPSI",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "bloom_psi",
+    "dh_multiparty",
+    "dh_psi",
+    "generate_keypair",
+    "multiparty_intersect",
+    "plaintext_intersection",
+    "plaintext_psi_sum",
+    "plaintext_union",
+    "polynomial_from_roots",
+]

@@ -1,0 +1,101 @@
+"""Bloom-filter PSI baseline [47].
+
+Each owner inserts its elements into a Bloom filter with common
+parameters; the filters are AND-ed bitwise and elements of the querier's
+set are tested against the combined filter.  Fast and multi-owner-friendly
+but (a) leaks filter contents to whoever combines them and (b) admits
+false positives — the trade-offs Prism avoids.  Serves as the
+"fast-but-leaky" comparison point alongside the plaintext baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.crypto.hashing import stable_hash
+from repro.exceptions import ParameterError
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over hashable values.
+
+    Args:
+        num_bits: filter size ``m_bits``.
+        num_hashes: number of hash functions ``k``.
+        seed: base seed; hash function ``i`` uses ``seed + i``.
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int, seed: int = 0):
+        if num_bits < 8:
+            raise ParameterError("filter too small")
+        if num_hashes < 1:
+            raise ParameterError("need at least one hash function")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.seed = seed
+        self.bits = np.zeros(num_bits, dtype=bool)
+
+    @classmethod
+    def for_capacity(cls, capacity: int, false_positive_rate: float = 1e-6,
+                     seed: int = 0) -> "BloomFilter":
+        """Size a filter for ``capacity`` elements at a target FP rate."""
+        if not 0 < false_positive_rate < 1:
+            raise ParameterError("false-positive rate must lie in (0, 1)")
+        capacity = max(1, capacity)
+        num_bits = max(8, int(-capacity * math.log(false_positive_rate)
+                              / (math.log(2) ** 2)))
+        num_hashes = max(1, round(num_bits / capacity * math.log(2)))
+        return cls(num_bits, num_hashes, seed)
+
+    def _positions(self, value) -> list[int]:
+        return [stable_hash(value, self.seed + i) % self.num_bits
+                for i in range(self.num_hashes)]
+
+    def add(self, value) -> None:
+        for pos in self._positions(value):
+            self.bits[pos] = True
+
+    def add_all(self, values) -> None:
+        for v in values:
+            self.add(v)
+
+    def __contains__(self, value) -> bool:
+        return all(self.bits[pos] for pos in self._positions(value))
+
+    def intersect_with(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise AND — the filter of the (approximate) intersection."""
+        if (other.num_bits != self.num_bits
+                or other.num_hashes != self.num_hashes
+                or other.seed != self.seed):
+            raise ParameterError("filters have incompatible parameters")
+        out = BloomFilter(self.num_bits, self.num_hashes, self.seed)
+        out.bits = self.bits & other.bits
+        return out
+
+    @property
+    def fill_ratio(self) -> float:
+        return float(np.count_nonzero(self.bits)) / self.num_bits
+
+
+def bloom_psi(sets: list[list], false_positive_rate: float = 1e-6,
+              seed: int = 0) -> set:
+    """Multi-owner Bloom-filter PSI.
+
+    Builds one filter per owner, ANDs them, and checks the first owner's
+    elements against the combined filter.  May contain false positives at
+    the configured rate.
+    """
+    if len(sets) < 2:
+        raise ParameterError("need at least two sets")
+    capacity = max(len(s) for s in sets)
+    filters = []
+    for s in sets:
+        f = BloomFilter.for_capacity(capacity, false_positive_rate, seed)
+        f.add_all(s)
+        filters.append(f)
+    combined = filters[0]
+    for f in filters[1:]:
+        combined = combined.intersect_with(f)
+    return {x for x in sets[0] if x in combined}

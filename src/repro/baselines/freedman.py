@@ -1,0 +1,112 @@
+"""Freedman-style polynomial-evaluation PSI over Paillier [23, 39].
+
+The classic homomorphic-encryption PSI that Table 13's slower comparison
+rows descend from.  Two parties; the client holds set ``X``, the server
+set ``Y``:
+
+1. Client builds ``P(t) = Π_{x in X} (t - x)`` (roots are its elements),
+   encrypts the coefficients under its Paillier key and sends them.
+2. For each ``y in Y``, the server homomorphically evaluates
+   ``Enc(r_y * P(y) + y)`` with fresh random ``r_y`` (Horner on
+   ciphertexts) and returns the ciphertexts, shuffled.
+3. Client decrypts; values that land in ``X`` are intersection members
+   (when ``P(y) = 0`` the mask vanishes), everything else is random.
+
+Multi-owner extension (how the generalisation cost blows up, §1): run the
+two-party protocol pairwise against a designated leader and intersect the
+results — ``m - 1`` full protocol runs, each quadratic-ish work, which is
+exactly the overhead Prism's one-round design removes.
+
+Complexity: O(|X| * |Y|) homomorphic operations per pair; every one is a
+big-int exponentiation.  This is the honest reason the baseline only runs
+at small ``n`` in the comparison bench — matching the paper's report that
+such systems handle ≤ 1M elements in hours.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.paillier import generate_keypair
+from repro.exceptions import ParameterError
+
+
+def polynomial_from_roots(roots: list[int], modulus: int) -> list[int]:
+    """Coefficients (low to high) of ``Π (t - root)`` over ``Z_modulus``."""
+    coeffs = [1]
+    for root in roots:
+        nxt = [0] * (len(coeffs) + 1)
+        for i, c in enumerate(coeffs):
+            nxt[i + 1] = (nxt[i + 1] + c) % modulus
+            nxt[i] = (nxt[i] - c * root) % modulus
+        coeffs = nxt
+    return coeffs
+
+
+class FreedmanPSI:
+    """Two-party Freedman PSI instance.
+
+    Args:
+        key_bits: Paillier modulus size (benchmark-grade default).
+        seed: deterministic randomness for reproducible runs.
+    """
+
+    def __init__(self, key_bits: int = 128, seed: int = 0):
+        self.public, self.private = generate_keypair(key_bits, seed)
+        self._rng = random.Random(seed + 2)
+
+    def client_encrypt_polynomial(self, client_set: list[int]) -> list[int]:
+        """Step 1: encrypted coefficients of the client's root polynomial."""
+        if not client_set:
+            raise ParameterError("client set must be non-empty")
+        coeffs = polynomial_from_roots(
+            [x % self.public.n for x in client_set], self.public.n)
+        return [self.public.encrypt(c) for c in coeffs]
+
+    def server_evaluate(self, encrypted_coeffs: list[int],
+                        server_set: list[int]) -> list[int]:
+        """Step 2: ``Enc(r * P(y) + y)`` per server element, shuffled."""
+        out = []
+        for y in server_set:
+            y = y % self.public.n
+            # Horner on ciphertexts: acc = acc * y + coeff (all encrypted).
+            acc = encrypted_coeffs[-1]
+            for coeff in reversed(encrypted_coeffs[:-1]):
+                acc = self.public.add(self.public.mul_plain(acc, y), coeff)
+            r = self._rng.randrange(1, self.public.n)
+            masked = self.public.mul_plain(acc, r)
+            out.append(self.public.add_plain(masked, y))
+        self._rng.shuffle(out)
+        return out
+
+    def client_decrypt(self, responses: list[int],
+                       client_set: list[int]) -> set[int]:
+        """Step 3: decrypt and keep values belonging to the client set."""
+        mine = {x % self.public.n for x in client_set}
+        hits = {self.private.decrypt(c) for c in responses}
+        return {x for x in client_set if x % self.public.n in (hits & mine)}
+
+    def intersect(self, client_set: list[int], server_set: list[int]) -> set[int]:
+        """Full two-party run."""
+        coeffs = self.client_encrypt_polynomial(client_set)
+        responses = self.server_evaluate(coeffs, server_set)
+        return self.client_decrypt(responses, client_set)
+
+
+def multiparty_intersect(sets: list[list[int]], key_bits: int = 128,
+                         seed: int = 0) -> set[int]:
+    """Leader-based multi-owner extension: ``m - 1`` two-party runs.
+
+    The first set's owner acts as client against every other owner and
+    intersects the results — the naive (and costly) generalisation the
+    paper contrasts Prism with.
+    """
+    if len(sets) < 2:
+        raise ParameterError("need at least two sets")
+    result = set(sets[0])
+    for i, other in enumerate(sets[1:], start=1):
+        psi = FreedmanPSI(key_bits=key_bits, seed=seed + i)
+        result &= psi.intersect(sorted(result), other)
+        if not result:
+            break
+    return result

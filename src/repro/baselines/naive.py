@@ -1,0 +1,44 @@
+"""Insecure plaintext baselines.
+
+The lower bound of Table 13: hash-set intersection/union with zero
+privacy.  Corresponds to the role [37] plays in the paper's comparison —
+very fast, but it "reveals which item is in the intersection set" (and
+here, everything else too).  Used by benches to anchor the cost of the
+cryptography and by tests as the ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParameterError
+
+
+def plaintext_intersection(sets: list[list]) -> set:
+    """m-way set intersection in the clear."""
+    if len(sets) < 2:
+        raise ParameterError("need at least two sets")
+    out = set(sets[0])
+    for s in sets[1:]:
+        out &= set(s)
+    return out
+
+
+def plaintext_union(sets: list[list]) -> set:
+    """m-way set union in the clear."""
+    if len(sets) < 2:
+        raise ParameterError("need at least two sets")
+    out: set = set()
+    for s in sets:
+        out |= set(s)
+    return out
+
+
+def plaintext_psi_sum(relations, attribute: str, agg_attribute: str) -> dict:
+    """Sum of ``agg_attribute`` per common ``attribute`` value, in the clear."""
+    common = plaintext_intersection(
+        [rel.distinct(attribute) for rel in relations])
+    out = {v: 0 for v in common}
+    for rel in relations:
+        for k, v in zip(rel.column(attribute), rel.column(agg_attribute)):
+            if k in out:
+                out[k] += v
+    return out

@@ -1,0 +1,97 @@
+"""Paillier additively-homomorphic cryptosystem, from scratch.
+
+The substrate for the Freedman-style PSI baseline (Table 13's
+"homomorphic-encryption PSI" family, [23, 39]).  Standard textbook
+Paillier with the ``g = n + 1`` simplification:
+
+* public key ``n = p * q``; ``Enc(m) = (1 + n)^m * r^n mod n^2``
+* ``Dec(c) = L(c^lambda mod n^2) * mu mod n`` with ``L(x) = (x-1)/n``
+* homomorphisms: ``Enc(a) * Enc(b) = Enc(a+b)``;
+  ``Enc(a)^k = Enc(a*k)``.
+
+Key sizes here are chosen for benchmarking honesty, not deployment: the
+paper's point is that public-key-crypto PSI is orders of magnitude slower
+than Prism's share arithmetic, which holds at any key size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.primes import modinv, random_prime
+from repro.exceptions import ParameterError, ShareError
+
+
+class PaillierPublicKey:
+    """Public key: encrypt and operate on ciphertexts."""
+
+    def __init__(self, n: int, rng: random.Random | None = None):
+        if n < 6:
+            raise ParameterError("modulus too small")
+        self.n = n
+        self.n_squared = n * n
+        self._rng = rng or random.Random(n)
+
+    def encrypt(self, message: int) -> int:
+        """Encrypt ``message`` (reduced mod n) with fresh randomness."""
+        m = message % self.n
+        while True:
+            r = self._rng.randrange(1, self.n)
+            # r must be coprime with n; for n = p*q this fails with
+            # negligible probability, but we check anyway.
+            from math import gcd
+            if gcd(r, self.n) == 1:
+                break
+        return (pow(1 + self.n, m, self.n_squared)
+                * pow(r, self.n, self.n_squared)) % self.n_squared
+
+    def add(self, c1: int, c2: int) -> int:
+        """Ciphertext of the sum of the two plaintexts."""
+        return (c1 * c2) % self.n_squared
+
+    def add_plain(self, c: int, k: int) -> int:
+        """Ciphertext of ``plaintext + k``."""
+        return (c * pow(1 + self.n, k % self.n, self.n_squared)) % self.n_squared
+
+    def mul_plain(self, c: int, k: int) -> int:
+        """Ciphertext of ``plaintext * k``."""
+        return pow(c, k % self.n, self.n_squared)
+
+
+class PaillierPrivateKey:
+    """Private key: decrypt."""
+
+    def __init__(self, public: PaillierPublicKey, p: int, q: int):
+        if p * q != public.n:
+            raise ParameterError("p * q does not match the public modulus")
+        self.public = public
+        self._lambda = (p - 1) * (q - 1)
+        self._mu = modinv(self._lambda, public.n)
+
+    def decrypt(self, ciphertext: int) -> int:
+        if not 0 < ciphertext < self.public.n_squared:
+            raise ShareError("ciphertext out of range")
+        n = self.public.n
+        x = pow(ciphertext, self._lambda, self.public.n_squared)
+        return (((x - 1) // n) * self._mu) % n
+
+
+def generate_keypair(bits: int = 128, seed: int = 0
+                     ) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """Generate a Paillier keypair with an ``bits``-bit modulus.
+
+    Args:
+        bits: modulus size; benchmark-grade by default (128), raise to
+            2048 for realistic cost ratios (everything gets slower by the
+            same story the paper tells).
+        seed: deterministic key generation for reproducible benches.
+    """
+    rng = random.Random(seed)
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(bits - half, rng)
+        if p != q:
+            break
+    public = PaillierPublicKey(p * q, rng=random.Random(seed + 1))
+    return public, PaillierPrivateKey(public, p, q)

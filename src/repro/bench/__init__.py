@@ -1,0 +1,49 @@
+"""Experiment harness regenerating every table and figure of §8."""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    exp1_threads,
+    exp2_multiattr,
+    exp3_owners,
+    exp4_owner_time,
+    exp5_bucketization,
+    exp6_comparison,
+    exp7_sharegen,
+)
+from repro.bench.harness import (
+    build_system,
+    large_domain_size,
+    one_common_value,
+    small_domain_size,
+)
+from repro.bench.reporting import dump_json, format_series, format_table
+from repro.bench.shapes import (
+    is_linear_increasing,
+    is_monotone_decreasing,
+    is_roughly_flat,
+    linear_fit,
+    ratio,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "build_system",
+    "dump_json",
+    "exp1_threads",
+    "exp2_multiattr",
+    "exp3_owners",
+    "exp4_owner_time",
+    "exp5_bucketization",
+    "exp6_comparison",
+    "exp7_sharegen",
+    "format_series",
+    "format_table",
+    "is_linear_increasing",
+    "is_monotone_decreasing",
+    "is_roughly_flat",
+    "large_domain_size",
+    "linear_fit",
+    "one_common_value",
+    "ratio",
+    "small_domain_size",
+]

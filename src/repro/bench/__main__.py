@@ -1,0 +1,48 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.bench            # run every experiment
+    python -m repro.bench fig3 fig5  # run a subset
+    python -m repro.bench fig4 --json out.json
+    REPRO_SCALE=5 python -m repro.bench table12   # 5x larger workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.reporting import dump_json
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the Prism paper's evaluation artefacts.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", choices=[*EXPERIMENTS, []],
+        help=f"which artefacts to regenerate (default: all of "
+             f"{', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument("--json", metavar="PATH",
+                        help="also dump structured results to a JSON file")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    payloads = {}
+    for name in names:
+        payload = EXPERIMENTS[name]()
+        payloads[name] = payload
+        print(payload["text"])
+        print()
+    if args.json:
+        dump_json(payloads, args.json)
+        print(f"structured results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

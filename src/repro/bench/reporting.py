@@ -1,0 +1,61 @@
+"""Paper-style output for the experiment harness.
+
+Every experiment returns a structured dict; these helpers render it the
+way the paper presents it — an ASCII table for the table-artefacts and a
+labelled series block for the figure-artefacts — and optionally dump JSON
+for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row]
+                                           for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: dict, x_label: str, y_label: str,
+                  title: str = "") -> str:
+    """Render figure data as labelled series (one line per curve).
+
+    ``series`` maps curve name → list of ``(x, y)`` pairs.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"x = {x_label}, y = {y_label}")
+    for name, points in series.items():
+        pts = "  ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in points)
+        lines.append(f"  {name}: {pts}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def dump_json(payload: dict, path: str) -> None:
+    """Write an experiment's structured result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, default=str)

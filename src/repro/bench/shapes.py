@@ -1,0 +1,71 @@
+"""Programmatic checks of the paper's *shape* claims.
+
+EXPERIMENTS.md asserts qualitative shapes (linear in m, linear in b,
+monotone collapse with fill factor...).  These helpers turn those into
+testable predicates over experiment payloads, so the claims cannot rot
+silently: `tests/test_shapes.py` runs the experiments at toy scale and
+asserts every shape.
+"""
+
+from __future__ import annotations
+
+from scipy import stats
+
+from repro.exceptions import ParameterError
+
+
+def linear_fit(points) -> tuple[float, float, float]:
+    """Least-squares fit of ``(x, y)`` pairs: returns (slope, intercept, r).
+
+    Raises:
+        ParameterError: with fewer than 3 points (r is meaningless).
+    """
+    points = list(points)
+    if len(points) < 3:
+        raise ParameterError("need at least 3 points for a fit")
+    xs = [float(x) for x, _ in points]
+    ys = [float(y) for _, y in points]
+    result = stats.linregress(xs, ys)
+    return float(result.slope), float(result.intercept), float(result.rvalue)
+
+
+def is_linear_increasing(points, min_r: float = 0.9) -> bool:
+    """True if y grows linearly in x (positive slope, correlation >= min_r)."""
+    slope, _, r = linear_fit(points)
+    return slope > 0 and r >= min_r
+
+
+def is_monotone_decreasing(values) -> bool:
+    """True if the sequence never increases."""
+    values = list(values)
+    return all(a >= b for a, b in zip(values, values[1:]))
+
+
+def is_roughly_flat(values, tolerance: float = 3.0) -> bool:
+    """True if max/min stays within ``tolerance`` (for flat-line claims).
+
+    Timing lines regarded as "flat" in the paper (e.g. data-fetch time
+    across thread counts) still jitter; a 3x band is deliberately loose —
+    the claim being checked is "does not grow with x", not "constant".
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ParameterError("no values supplied")
+    low = min(values)
+    if low <= 0:
+        return max(values) - low < 1e-6 or low >= 0
+    return max(values) / low <= tolerance
+
+
+def ratio(points_or_values, numerator_index: int = -1,
+          denominator_index: int = 0) -> float:
+    """Last-to-first (by default) y-ratio of a series — growth factor."""
+    items = list(points_or_values)
+    if not items:
+        raise ParameterError("no values supplied")
+    def y(item):
+        return float(item[1]) if isinstance(item, (tuple, list)) else float(item)
+    denom = y(items[denominator_index])
+    if denom == 0:
+        raise ParameterError("zero denominator in ratio")
+    return y(items[numerator_index]) / denom

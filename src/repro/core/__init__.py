@@ -1,0 +1,66 @@
+"""Core Prism protocols and the high-level system facade."""
+
+from repro.core.aggregate import aggregate_reference, run_aggregate
+from repro.core.bucketized import (
+    BucketTree,
+    run_bucketized_psi,
+    simulate_actual_domain_size,
+)
+from repro.core.count import run_psi_count, run_psu_count
+from repro.core.extrema import (
+    extrema_reference,
+    median_reference,
+    run_extrema,
+    run_median,
+)
+from repro.core.params import (
+    AnnouncerParams,
+    OwnerParams,
+    ServerGroupView,
+    ServerParams,
+)
+from repro.core.psi import psi_reference, run_psi
+from repro.core.psu import psu_reference, run_psu
+from repro.core.query import QueryPlan, parse_query, run_query
+from repro.core.results import (
+    AggregateResult,
+    CountResult,
+    ExtremaResult,
+    MedianResult,
+    PhaseTimings,
+    SetResult,
+)
+from repro.core.system import NUM_SERVERS, PrismSystem
+
+__all__ = [
+    "AggregateResult",
+    "AnnouncerParams",
+    "BucketTree",
+    "CountResult",
+    "ExtremaResult",
+    "MedianResult",
+    "NUM_SERVERS",
+    "OwnerParams",
+    "PhaseTimings",
+    "PrismSystem",
+    "QueryPlan",
+    "ServerGroupView",
+    "ServerParams",
+    "SetResult",
+    "aggregate_reference",
+    "extrema_reference",
+    "median_reference",
+    "parse_query",
+    "psi_reference",
+    "psu_reference",
+    "run_aggregate",
+    "run_bucketized_psi",
+    "run_extrema",
+    "run_median",
+    "run_psi",
+    "run_psi_count",
+    "run_psu",
+    "run_psu_count",
+    "run_query",
+    "simulate_actual_domain_size",
+]

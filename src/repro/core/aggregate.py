@@ -1,0 +1,181 @@
+"""Summary aggregations over PSI/PSU: sum, average, and their verification
+(§6.1–6.2).
+
+Two rounds:
+
+1. The PSI (or PSU) round establishes which cells are in the result set.
+   Servers send the Eq. 3 output to one randomly selected owner — the
+   *querier* — who rebuilds the 0/1 indicator ``z`` (replacing the random
+   non-members with 0) and deals degree-1 Shamir shares of ``z`` to the
+   three servers.
+2. Each server computes ``Σ_j S(x_i2)_j × S(z_i)`` per cell (Eq. 11) and
+   broadcasts; owners reconstruct the degree-2 result by Lagrange
+   interpolation at the three points.
+
+Average additionally aggregates the per-owner tuple-count column ``aA``
+(the paper's ``aOK``) and divides.
+
+Verification (interpretation of the full version's Table 11 ``v`` columns):
+owners also outsourced ``PF_db1``-permuted copies of each aggregation
+column.  The querier sends a second indicator vector — ``z`` permuted by
+``PF_db1`` — and the owner checks that the un-permuted verified totals
+match the primary totals cell-by-cell.  A server dropping or replaying
+Eq. 11 cells cannot fake the pair without knowing ``PF_db1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.psi import psi_column_name, run_psi
+from repro.core.psu import run_psu
+from repro.core.results import AggregateResult
+from repro.exceptions import ProtocolError, VerificationError
+
+
+def _indicator_round(system, attribute, over: str, num_threads, querier,
+                     owner_ids):
+    """Round 1: run PSI or PSU and return (membership, timings-so-far)."""
+    if over == "psi":
+        round1 = run_psi(system, attribute, num_threads=num_threads,
+                         querier=querier, owner_ids=owner_ids)
+    elif over == "psu":
+        round1 = run_psu(system, attribute, num_threads=num_threads,
+                         querier=querier, owner_ids=owner_ids)
+    else:
+        raise ProtocolError(f"unknown set operation {over!r}")
+    return round1
+
+
+def run_aggregate(system, attribute: str, agg_attributes,
+                  op: str = "sum", over: str = "psi", verify: bool = False,
+                  num_threads: int | None = None, querier: int = 0,
+                  owner_ids: list[int] | None = None) -> dict:
+    """Sum or average of one or more attributes over PSI/PSU groups.
+
+    Args:
+        system: a :class:`~repro.core.system.PrismSystem`.
+        attribute: the set-operation attribute ``A_c``.
+        agg_attributes: attribute name or list of names to aggregate
+            (Table 12 sweeps 1–4 of them in one query).
+        op: ``"sum"`` or ``"avg"``.
+        over: ``"psi"`` or ``"psu"``.
+        verify: run the permuted-copy consistency check.
+        num_threads: server-side threads.
+        querier: the owner that generates the ``z`` shares.
+        owner_ids: restrict to a subset of owners.
+
+    Returns:
+        Mapping of aggregation attribute → :class:`AggregateResult`.
+    """
+    if op not in ("sum", "avg"):
+        raise ProtocolError(f"unsupported summary aggregation {op!r}")
+    if isinstance(agg_attributes, str):
+        agg_attributes = [agg_attributes]
+    if not agg_attributes:
+        raise ProtocolError("no aggregation attributes given")
+    threads = num_threads if num_threads is not None else system.num_threads
+    transport = system.transport
+    owner = system.owners[querier]
+
+    round1 = _indicator_round(system, attribute, over, threads, querier,
+                              owner_ids)
+    timings = round1.timings
+    member = round1.membership
+
+    # Round 2: the querier deals z shares to all three servers.
+    transport.begin_round(f"{over}-{op}")
+    with timings.measure("owner"):
+        z_shares = owner.make_z_shares(member)
+        vz_shares = (owner.shamir_shares_of(
+            owner.params.pf_db1.apply(member.astype(np.int64)))
+            if verify else None)
+    for server, z in zip(system.servers[:3], z_shares):
+        transport.transfer(owner.endpoint, server.endpoint, "z-shares", z)
+    if verify:
+        for server, vz in zip(system.servers[:3], vz_shares):
+            transport.transfer(owner.endpoint, server.endpoint, "vz-shares", vz)
+
+    want_counts = op == "avg"
+    count_column = "a" + psi_column_name(attribute)
+    sums_by_attr: dict[str, list[np.ndarray]] = {a: [] for a in agg_attributes}
+    vsums_by_attr: dict[str, list[np.ndarray]] = {a: [] for a in agg_attributes}
+    count_outputs: list[np.ndarray] = []
+    for server, z in zip(system.servers[:3], z_shares):
+        for agg in agg_attributes:
+            with timings.measure("fetch"):
+                shares = server.fetch_shamir(agg, owner_ids)
+            with timings.measure("server"):
+                out = server.aggregate_round(agg, z, threads, owner_ids, shares)
+            transport.broadcast(server.endpoint,
+                                [o.endpoint for o in system.owners],
+                                f"agg-{agg}", out)
+            sums_by_attr[agg].append(out)
+            if verify:
+                vz = vz_shares[system.servers.index(server)]
+                with timings.measure("fetch"):
+                    vshares = server.fetch_shamir("v" + agg, owner_ids)
+                with timings.measure("server"):
+                    vout = server.aggregate_round("v" + agg, vz, threads,
+                                                  owner_ids, vshares)
+                transport.broadcast(server.endpoint,
+                                    [o.endpoint for o in system.owners],
+                                    f"vagg-{agg}", vout)
+                vsums_by_attr[agg].append(vout)
+        if want_counts:
+            with timings.measure("fetch"):
+                cshares = server.fetch_shamir(count_column, owner_ids)
+            with timings.measure("server"):
+                cout = server.aggregate_round(count_column, z, threads,
+                                              owner_ids, cshares)
+            transport.broadcast(server.endpoint,
+                                [o.endpoint for o in system.owners],
+                                "agg-count", cout)
+            count_outputs.append(cout)
+
+    results: dict[str, AggregateResult] = {}
+    with timings.measure("owner"):
+        counts = owner.finalize_aggregate(count_outputs) if want_counts else None
+        for agg in agg_attributes:
+            totals = owner.finalize_aggregate(sums_by_attr[agg])
+            verified = False
+            if verify:
+                vtotals = owner.finalize_aggregate(vsums_by_attr[agg])
+                expect = owner.params.pf_db1.apply(totals)
+                bad = np.nonzero(vtotals != expect)[0]
+                if bad.size:
+                    raise VerificationError(
+                        f"aggregation verification failed for {agg!r} at "
+                        f"{bad.size} cells",
+                        failed_cells=bad.tolist(),
+                    )
+                verified = True
+            per_value = {}
+            for cell in np.nonzero(member)[0]:
+                value = owner.params.domain.value_of(int(cell))
+                if op == "sum":
+                    per_value[value] = int(totals[cell])
+                else:
+                    c = int(counts[cell])
+                    per_value[value] = int(totals[cell]) / c if c else 0.0
+            results[agg] = AggregateResult(
+                per_value=per_value, timings=timings,
+                traffic=transport.stats.summary(), verified=verified,
+            )
+    return results
+
+
+def aggregate_reference(relations, attribute: str, agg_attribute: str,
+                        values, op: str = "sum") -> dict:
+    """Plaintext oracle for sum/avg over a given result-set of values."""
+    out = {}
+    for value in values:
+        total = 0
+        count = 0
+        for rel in relations:
+            for k, v in zip(rel.column(attribute), rel.column(agg_attribute)):
+                if k == value:
+                    total += v
+                    count += 1
+        out[value] = total if op == "sum" else (total / count if count else 0.0)
+    return out

@@ -1,0 +1,241 @@
+"""The high-level Prism facade.
+
+:class:`PrismSystem` wires up a full deployment — initiator, ``m`` owners,
+three servers, announcer, transport — and exposes one method per supported
+query (Table 4): ``psi``, ``psu``, ``psi_count``, ``psu_count``,
+``psi_sum``, ``psi_average``, ``psi_max``, ``psi_min``, ``psi_median``,
+plus their PSU-aggregation variants and bucketized PSI.
+
+Typical use::
+
+    from repro import PrismSystem, Relation, Domain
+
+    domain = Domain("disease", ["cancer", "fever", "heart"])
+    system = PrismSystem.build([rel1, rel2, rel3], domain,
+                               psi_attribute="disease",
+                               agg_attributes=("cost", "age"))
+    print(system.psi("disease").values)
+    print(system.psi_sum("disease", "cost")["cost"].per_value)
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregate import run_aggregate
+from repro.core.bucketized import (
+    BucketTree,
+    outsource_bucketized,
+    run_bucketized_psi,
+)
+from repro.core.count import run_psi_count, run_psu_count
+from repro.core.extrema import run_extrema, run_median
+from repro.core.psi import run_psi
+from repro.core.psu import run_psu
+from repro.core.results import (
+    AggregateResult,
+    CountResult,
+    ExtremaResult,
+    MedianResult,
+    SetResult,
+)
+from repro.crypto.shamir import DEFAULT_FIELD_PRIME
+from repro.data.domain import Domain, ProductDomain
+from repro.data.relation import Relation
+from repro.entities.announcer import Announcer
+from repro.entities.initiator import Initiator
+from repro.entities.owner import DBOwner
+from repro.entities.server import PrismServer
+from repro.exceptions import ParameterError
+from repro.network.transport import LocalTransport
+
+#: Number of servers a full deployment instantiates (2 additive + 1 extra
+#: Shamir point for degree-2 reconstruction, §3.2).
+NUM_SERVERS = 3
+
+
+class PrismSystem:
+    """A complete in-process Prism deployment.
+
+    Most callers should use :meth:`build`, which also runs Phase 1
+    (outsourcing).  The constructor only wires entities.
+
+    Args:
+        relations: one private relation per owner.
+        domain: the PSI/PSU attribute domain.
+        seed: master seed for all parameters and share randomness.
+        num_threads: default server-side thread count.
+        delta: override the additive-group prime.
+        alpha: the ``eta' = alpha * eta`` multiplier.
+        field_prime: Shamir field prime.
+        value_bound: max aggregation-attribute value (sizes the extrema
+            modulus).
+        server_factories: optional per-index server constructors, e.g. to
+            inject malicious servers:
+            ``{1: lambda i, p: SkipCellsServer(i, p)}``.
+        announcer_knows_eta: deal ``eta`` to the announcer, enabling
+            announcer-driven bucket traversal (§6.6 note) at the cost of
+            the announcer learning which bucket nodes are common.
+        serialize_transport: round-trip every message through the binary
+            wire codec (conformance mode; slower, byte-exact accounting).
+    """
+
+    def __init__(self, relations: list[Relation], domain: Domain | ProductDomain,
+                 seed: int = 0, num_threads: int = 1,
+                 delta: int | None = None, alpha: int = 13,
+                 field_prime: int = DEFAULT_FIELD_PRIME,
+                 value_bound: int = 10_000,
+                 server_factories: dict | None = None,
+                 announcer_knows_eta: bool = False,
+                 serialize_transport: bool = False):
+        if len(relations) < 2:
+            raise ParameterError("Prism needs at least two owners")
+        self.domain = domain
+        self.num_threads = num_threads
+        self.initiator = Initiator(len(relations), domain, seed=seed,
+                                   delta=delta, alpha=alpha,
+                                   field_prime=field_prime,
+                                   value_bound=value_bound)
+        self.transport = LocalTransport(serialize=serialize_transport)
+        owner_params = self.initiator.owner_params()
+        self.owners = [
+            DBOwner(i, owner_params, relation=rel, seed=seed)
+            for i, rel in enumerate(relations)
+        ]
+        factories = server_factories or {}
+        self.servers = [
+            factories.get(i, PrismServer)(i, self.initiator.server_params(i))
+            for i in range(NUM_SERVERS)
+        ]
+        self.announcer = Announcer(
+            self.initiator.announcer_params(include_eta=announcer_knows_eta),
+            seed=seed,
+        )
+        self._nonce = 0
+        self._bucket_trees: dict[str, BucketTree] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def build(cls, relations, domain, psi_attribute,
+              agg_attributes=(), with_verification: bool = False,
+              mask_zeros: bool = False, **kwargs) -> "PrismSystem":
+        """Construct a system and run Phase 1 outsourcing in one step."""
+        system = cls(relations, domain, **kwargs)
+        system.outsource(psi_attribute, agg_attributes, with_verification,
+                         mask_zeros=mask_zeros)
+        return system
+
+    def outsource(self, psi_attribute, agg_attributes=(),
+                  with_verification: bool = False,
+                  mask_zeros: bool = False) -> None:
+        """Phase 1: every owner ships its Table-11 share columns.
+
+        ``mask_zeros`` enables the footnote-1 hardening (random values in
+        absent χ cells); PSI-only, incompatible with verification.
+        """
+        for owner in self.owners:
+            owner.outsource(self.servers, psi_attribute,
+                            tuple(agg_attributes), with_verification,
+                            transport=self.transport,
+                            mask_zeros=mask_zeros)
+
+    def outsource_bucketized(self, psi_attribute, fanout: int = 10) -> BucketTree:
+        """Phase 1 for bucketized PSI: per-level χ columns (§6.6)."""
+        # The leaf level is the ordinary PSI column; ensure it exists.
+        if not self.servers[0].store.owners_with(
+                psi_attribute if isinstance(psi_attribute, str)
+                else "*".join(psi_attribute)):
+            self.outsource(psi_attribute)
+        tree = outsource_bucketized(self, psi_attribute, fanout)
+        key = psi_attribute if isinstance(psi_attribute, str) \
+            else "*".join(psi_attribute)
+        self._bucket_trees[key] = tree
+        return tree
+
+    def next_nonce(self) -> int:
+        """Fresh query nonce (PSU mask stream freshness)."""
+        self._nonce += 1
+        return self._nonce
+
+    @property
+    def relations(self) -> list[Relation]:
+        return [owner.relation for owner in self.owners]
+
+    # -- set queries -----------------------------------------------------------
+
+    def psi(self, attribute, verify: bool = False, **kwargs) -> SetResult:
+        """Private set intersection over ``attribute`` (§5.1/§5.2)."""
+        return run_psi(self, attribute, verify=verify, **kwargs)
+
+    def psu(self, attribute, verify: bool = False, **kwargs) -> SetResult:
+        """Private set union over ``attribute`` (§7), optionally verified."""
+        return run_psu(self, attribute, verify=verify, **kwargs)
+
+    def psi_count(self, attribute, verify: bool = False, **kwargs) -> CountResult:
+        """Intersection cardinality only (§6.5)."""
+        return run_psi_count(self, attribute, verify=verify, **kwargs)
+
+    def psu_count(self, attribute, **kwargs) -> CountResult:
+        """Union cardinality only (§6.5 applied to PSU)."""
+        return run_psu_count(self, attribute, **kwargs)
+
+    # -- summary aggregations ----------------------------------------------------
+
+    def psi_sum(self, attribute, agg_attributes, verify: bool = False,
+                **kwargs) -> dict[str, AggregateResult]:
+        """Sum per common value (§6.1); multi-attribute per Table 12."""
+        return run_aggregate(self, attribute, agg_attributes, op="sum",
+                             over="psi", verify=verify, **kwargs)
+
+    def psi_average(self, attribute, agg_attributes, verify: bool = False,
+                    **kwargs) -> dict[str, AggregateResult]:
+        """Average per common value (§6.2)."""
+        return run_aggregate(self, attribute, agg_attributes, op="avg",
+                             over="psi", verify=verify, **kwargs)
+
+    def psu_sum(self, attribute, agg_attributes, verify: bool = False,
+                **kwargs) -> dict[str, AggregateResult]:
+        """Sum per union value (aggregation over PSU, §2)."""
+        return run_aggregate(self, attribute, agg_attributes, op="sum",
+                             over="psu", verify=verify, **kwargs)
+
+    def psu_average(self, attribute, agg_attributes, verify: bool = False,
+                    **kwargs) -> dict[str, AggregateResult]:
+        """Average per union value (aggregation over PSU)."""
+        return run_aggregate(self, attribute, agg_attributes, op="avg",
+                             over="psu", verify=verify, **kwargs)
+
+    # -- exemplar aggregations -----------------------------------------------------
+
+    def psi_max(self, attribute, agg_attribute, reveal_holders: bool = True,
+                verify: bool = False, **kwargs) -> ExtremaResult:
+        """Maximum per common value, with optional holder identities (§6.3).
+
+        ``verify=True`` reruns the announcer round under fresh blinding
+        and requires agreement (the re-blinding consistency check).
+        """
+        return run_extrema(self, attribute, agg_attribute, kind="max",
+                           reveal_holders=reveal_holders, verify=verify,
+                           **kwargs)
+
+    def psi_min(self, attribute, agg_attribute, reveal_holders: bool = True,
+                verify: bool = False, **kwargs) -> ExtremaResult:
+        """Minimum per common value (§6.3 with FindMin)."""
+        return run_extrema(self, attribute, agg_attribute, kind="min",
+                           reveal_holders=reveal_holders, verify=verify,
+                           **kwargs)
+
+    def psi_median(self, attribute, agg_attribute, **kwargs) -> MedianResult:
+        """Median across owners of per-owner group totals (§6.4)."""
+        return run_median(self, attribute, agg_attribute, **kwargs)
+
+    # -- bucketized PSI -------------------------------------------------------------
+
+    def bucketized_psi(self, attribute, **kwargs) -> tuple[SetResult, dict]:
+        """Bucketized PSI (§6.6); requires :meth:`outsource_bucketized`."""
+        key = attribute if isinstance(attribute, str) else "*".join(attribute)
+        if key not in self._bucket_trees:
+            raise ParameterError(
+                f"call outsource_bucketized({key!r}) before bucketized_psi"
+            )
+        return run_bucketized_psi(self, attribute, self._bucket_trees[key],
+                                  **kwargs)

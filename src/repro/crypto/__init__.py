@@ -1,0 +1,43 @@
+"""Cryptographic building blocks for Prism (§3.1).
+
+Subpackage layout:
+
+* :mod:`repro.crypto.primes` — primality, prime search, modular inverses.
+* :mod:`repro.crypto.groups` — cyclic subgroups and server power tables.
+* :mod:`repro.crypto.additive` — additive secret sharing over Z_delta.
+* :mod:`repro.crypto.shamir` — Shamir secret sharing over F_p.
+* :mod:`repro.crypto.prg` — deterministic SHA-256 counter-mode PRG.
+* :mod:`repro.crypto.permutation` — permutation functions incl. Eq. (1).
+* :mod:`repro.crypto.hashing` — value → χ-cell domain mappers.
+* :mod:`repro.crypto.polynomial` — the order-preserving ``F(x)`` of §6.3.
+"""
+
+from repro.crypto.additive import AdditiveSharing, reconstruct_bigint, share_bigint
+from repro.crypto.groups import CyclicGroup, find_subgroup_generator
+from repro.crypto.hashing import EnumeratedDomainMapper, HashedDomainMapper
+from repro.crypto.permutation import Permutation, equation1_quadruple
+from repro.crypto.polynomial import OrderPreservingPolynomial
+from repro.crypto.prg import SeededPRG, derive_seed
+from repro.crypto.primes import find_eta_for_delta, is_prime, modinv, next_prime
+from repro.crypto.shamir import DEFAULT_FIELD_PRIME, ShamirSharing
+
+__all__ = [
+    "AdditiveSharing",
+    "CyclicGroup",
+    "DEFAULT_FIELD_PRIME",
+    "EnumeratedDomainMapper",
+    "HashedDomainMapper",
+    "OrderPreservingPolynomial",
+    "Permutation",
+    "SeededPRG",
+    "ShamirSharing",
+    "derive_seed",
+    "equation1_quadruple",
+    "find_eta_for_delta",
+    "find_subgroup_generator",
+    "is_prime",
+    "modinv",
+    "next_prime",
+    "reconstruct_bigint",
+    "share_bigint",
+]

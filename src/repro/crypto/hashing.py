@@ -1,0 +1,115 @@
+"""Domain hashing: mapping attribute values to χ-table cells (§5.1).
+
+Every owner must map a value ``a`` of attribute ``A_c`` to the *same* cell
+of a length-``b`` table, where ``b = |Dom(A_c)|``.  Two modes:
+
+* **Enumerated mode** — the domain is an explicit value list (the paper's
+  setting: owners know ``Dom(A_c)``); a value's cell is simply its rank.
+  Collision-free by construction and invertible, which PSI result decoding
+  needs (cell index → value).
+* **Hashed mode** — for large or implicit domains we hash values into ``b``
+  cells with SHA-256.  Collisions are possible and are surfaced via
+  :meth:`HashedDomainMapper.collisions`; the paper sidesteps this by using
+  perfect (identity) hashing over integer key domains, and so do the
+  benchmarks, but the mode is exercised by tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import DomainError
+
+
+def _stable_bytes(value) -> bytes:
+    """Canonical byte encoding of a hashable attribute value."""
+    if isinstance(value, bytes):
+        return b"b:" + value
+    if isinstance(value, str):
+        return b"s:" + value.encode("utf-8")
+    if isinstance(value, bool):
+        return b"o:" + (b"1" if value else b"0")
+    if isinstance(value, int):
+        return b"i:" + str(value).encode("ascii")
+    raise DomainError(f"unsupported attribute value type: {type(value).__name__}")
+
+
+def stable_hash(value, seed: int = 0) -> int:
+    """Process-independent 64-bit hash of an attribute value."""
+    digest = hashlib.sha256(
+        str(int(seed)).encode("ascii") + b"#" + _stable_bytes(value)
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class EnumeratedDomainMapper:
+    """Bijective value ↔ cell mapping for an explicit domain.
+
+    Args:
+        values: the domain, in a canonical order shared by all owners (the
+            initiator distributes it, §4).
+    """
+
+    def __init__(self, values: Sequence):
+        self._values = list(values)
+        self._index = {v: i for i, v in enumerate(self._values)}
+        if len(self._index) != len(self._values):
+            raise DomainError("domain contains duplicate values")
+
+    @property
+    def size(self) -> int:
+        return len(self._values)
+
+    def cell_of(self, value) -> int:
+        """Cell index of ``value``; raises if outside the domain."""
+        try:
+            return self._index[value]
+        except KeyError:
+            raise DomainError(f"value {value!r} not in the declared domain") from None
+
+    def value_of(self, cell: int):
+        """Domain value stored at ``cell``."""
+        if not 0 <= cell < len(self._values):
+            raise DomainError(f"cell {cell} out of range [0, {len(self._values)})")
+        return self._values[cell]
+
+    def cells_of(self, values: Iterable) -> list[int]:
+        """Vector version of :meth:`cell_of`."""
+        return [self.cell_of(v) for v in values]
+
+    def values(self) -> list:
+        """The domain values in cell order."""
+        return list(self._values)
+
+
+class HashedDomainMapper:
+    """Many-to-one value → cell mapping via seeded SHA-256.
+
+    Args:
+        num_cells: table length ``b``.
+        seed: common hash seed dealt by the initiator.
+    """
+
+    def __init__(self, num_cells: int, seed: int = 0):
+        if num_cells < 1:
+            raise DomainError("need at least one cell")
+        self.num_cells = num_cells
+        self.seed = seed
+
+    @property
+    def size(self) -> int:
+        return self.num_cells
+
+    def cell_of(self, value) -> int:
+        return stable_hash(value, self.seed) % self.num_cells
+
+    def cells_of(self, values: Iterable) -> list[int]:
+        return [self.cell_of(v) for v in values]
+
+    def collisions(self, values: Iterable) -> dict[int, list]:
+        """Cells to which more than one distinct input value hashes."""
+        buckets: dict[int, list] = {}
+        for v in dict.fromkeys(values):  # preserve order, drop duplicates
+            buckets.setdefault(self.cell_of(v), []).append(v)
+        return {cell: vs for cell, vs in buckets.items() if len(vs) > 1}

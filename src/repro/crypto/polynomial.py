@@ -1,0 +1,117 @@
+"""Order-preserving polynomial ``F(x)`` for the extrema protocols (§4, §6.3).
+
+The initiator selects ``F(x) = a_{m+1} x^{m+1} + ... + a_1 x + a_0`` with
+every ``a_i > 0`` and degree strictly greater than the number of owners
+``m``.  Two properties matter:
+
+* **Order preservation with blinding room**: for positive integers
+  ``x < y``, ``F(x) + r < F(y)`` holds for any ``0 <= r < F(x+1) - F(x)``;
+  owners blind their maxima as ``v = F(M) + r`` with ``r < M**m <=
+  F(M+1) - F(M)`` and the announcer can still rank them correctly.
+* **Secrecy**: the degree exceeding ``m`` means the ``m`` values the
+  announcer sees cannot determine the coefficients (the same argument as
+  Shamir's threshold).
+
+The owner inverts a blinded value with :meth:`OrderPreservingPolynomial
+.invert_blinded` — a binary search for ``z`` with ``F(z) <= v < F(z+1)``
+(the footnote-4 optimisation of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+class OrderPreservingPolynomial:
+    """Polynomial with positive coefficients, evaluated over the integers.
+
+    Args:
+        coefficients: ``[a_0, a_1, ..., a_d]`` with every ``a_i > 0`` and
+            ``d >= 2`` (protocol requires ``d > m >= 1``).
+    """
+
+    def __init__(self, coefficients: list[int]):
+        if len(coefficients) < 3:
+            raise ParameterError(
+                "F(x) must have degree >= 2 (degree must exceed the owner count)"
+            )
+        if any(int(c) <= 0 for c in coefficients):
+            raise ParameterError("all coefficients of F(x) must be positive")
+        self.coefficients = [int(c) for c in coefficients]
+
+    @classmethod
+    def for_owner_count(cls, num_owners: int, seed: int = 0,
+                        coefficient_bound: int = 1000) -> "OrderPreservingPolynomial":
+        """Generate an ``F`` of degree ``num_owners + 1`` from a seed.
+
+        Coefficients are pseudorandom in ``[1, coefficient_bound]`` — small
+        coefficients keep the blinded values (and hence the extrema modulus)
+        manageable while preserving all protocol properties.
+        """
+        if num_owners < 1:
+            raise ParameterError("need at least one owner")
+        rng = np.random.default_rng(seed)
+        coeffs = [int(c) for c in
+                  rng.integers(1, coefficient_bound + 1, size=num_owners + 2)]
+        return cls(coeffs)
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    def __call__(self, x: int) -> int:
+        """Evaluate ``F(x)`` exactly (Horner, Python big ints)."""
+        acc = 0
+        for c in reversed(self.coefficients):
+            acc = acc * x + c
+        return acc
+
+    def blinding_bound(self, x: int) -> int:
+        """Largest safe blinding range at ``x``: ``F(x+1) - F(x)``.
+
+        Any ``r`` in ``[0, blinding_bound(x))`` keeps ``F(x) + r < F(x+1)``
+        and therefore preserves the ordering of distinct inputs.  The paper
+        uses ``r < M**m`` which is a (loose) lower bound on this quantity;
+        we expose the exact bound and let callers pick the tighter one.
+        """
+        if x < 0:
+            raise ParameterError("F is order-preserving on non-negative x only")
+        return self(x + 1) - self(x)
+
+    def invert_blinded(self, value: int, hi_hint: int = 1) -> int:
+        """Find ``z >= 0`` with ``F(z) <= value < F(z + 1)`` by binary search.
+
+        Args:
+            value: a blinded evaluation ``F(z) + r`` with ``r`` inside the
+                blinding bound.
+            hi_hint: optional starting upper bound for the exponential
+                search phase.
+
+        Raises:
+            ParameterError: if ``value < F(0)`` (no valid preimage).
+        """
+        if value < self(0):
+            raise ParameterError(f"{value} is below F(0)={self(0)}")
+        hi = max(1, hi_hint)
+        while self(hi) <= value:
+            hi *= 2
+        lo = 0
+        while lo < hi - 1:
+            mid = (lo + hi) // 2
+            if self(mid) <= value:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def max_blinded_value(self, x: int) -> int:
+        """Exclusive upper bound on any blinded value for inputs ``<= x``.
+
+        Used by the initiator to size the extrema-sharing modulus.
+        """
+        return self(x + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OrderPreservingPolynomial(degree={self.degree})"

@@ -1,0 +1,120 @@
+"""Deterministic pseudorandom generation (§3.1, used by PSU in §7).
+
+Two consumers with different requirements share this module:
+
+* Protocol-critical randomness (the PSU masking stream, share randomness)
+  must be *reproducible from a seed alone*, because the two Prism servers
+  never communicate yet must derive the identical mask vector.  We build a
+  SHA-256 counter-mode generator for that: same seed, same stream, on any
+  platform and any numpy version.
+
+* Bulk statistical randomness (workload generation) just needs speed; the
+  data layer uses ``numpy.random.Generator`` directly for that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+_BLOCK_BYTES = 32  # SHA-256 digest size
+
+
+class SeededPRG:
+    """SHA-256 counter-mode pseudorandom generator.
+
+    The stream is ``SHA256(seed || 0) || SHA256(seed || 1) || ...`` consumed
+    lazily.  Determinism across processes is the point: Prism's PSU requires
+    both non-communicating servers to multiply cell ``i`` by the *same*
+    pseudorandom value ``rand[i]`` (Eq. 18), which they can only do by
+    deriving it from a shared seed.
+
+    Args:
+        seed: any integer; namespaced with ``label`` so one master seed can
+            safely derive many independent streams.
+        label: domain-separation string.
+    """
+
+    def __init__(self, seed: int, label: str = ""):
+        self._key = hashlib.sha256(
+            label.encode("utf-8") + b"|" + str(int(seed)).encode("ascii")
+        ).digest()
+        self._counter = 0
+        self._buffer = b""
+
+    def _refill(self, need: int) -> None:
+        chunks = [self._buffer]
+        have = len(self._buffer)
+        while have < need:
+            block = hashlib.sha256(
+                self._key + struct.pack("<Q", self._counter)
+            ).digest()
+            self._counter += 1
+            chunks.append(block)
+            have += _BLOCK_BYTES
+        self._buffer = b"".join(chunks)
+
+    def bytes(self, n: int) -> bytes:
+        """Next ``n`` bytes of the stream."""
+        if n < 0:
+            raise ParameterError("cannot draw a negative number of bytes")
+        self._refill(n)
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def integers(self, n: int, low: int, high: int) -> np.ndarray:
+        """``n`` integers uniform in ``[low, high)`` as an int64 array.
+
+        Uses 8 bytes of stream per draw with rejection-free modular
+        reduction; the modulus bias is below ``2**-40`` for every range this
+        library uses (ranges are < 2**24), which is irrelevant for masking.
+
+        Raises:
+            ParameterError: if the range is empty.
+        """
+        if high <= low:
+            raise ParameterError(f"empty range [{low}, {high})")
+        span = high - low
+        raw = np.frombuffer(self.bytes(8 * n), dtype="<u8")
+        return (raw % np.uint64(span)).astype(np.int64) + low
+
+    def integer(self, low: int, high: int) -> int:
+        """One integer uniform in ``[low, high)`` (arbitrary precision).
+
+        Unlike :meth:`integers` this path supports ranges wider than 64
+        bits, which the extrema protocol needs for its random blinding
+        terms ``r_i`` (§6.3).
+        """
+        if high <= low:
+            raise ParameterError(f"empty range [{low}, {high})")
+        span = high - low
+        nbytes = (span.bit_length() + 7) // 8 + 8  # +8 to keep bias negligible
+        value = int.from_bytes(self.bytes(nbytes), "big")
+        return low + (value % span)
+
+    def shuffle_indices(self, n: int) -> np.ndarray:
+        """A pseudorandom permutation of ``range(n)`` (Fisher–Yates).
+
+        Deterministic given the seed, used to derive the permutation
+        functions ``PF``, ``PF_s*`` and ``PF_db*`` of §4.
+        """
+        indices = np.arange(n, dtype=np.int64)
+        if n <= 1:
+            return indices
+        draws = self.integers(n - 1, 0, 2**63 - 1)
+        for i in range(n - 1, 0, -1):
+            j = int(draws[n - 1 - i] % (i + 1))
+            indices[i], indices[j] = indices[j], indices[i]
+        return indices
+
+
+def derive_seed(master_seed: int, label: str) -> int:
+    """Derive an independent 63-bit sub-seed from a master seed and label."""
+    digest = hashlib.sha256(
+        str(int(master_seed)).encode("ascii") + b"/" + label.encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") & (2**63 - 1)

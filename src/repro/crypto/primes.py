@@ -1,0 +1,185 @@
+"""Number-theoretic utilities: primality testing and prime search.
+
+Prism's moduli have structure: the additive group uses a prime ``delta``,
+the cyclic multiplicative group lives modulo a prime ``eta`` with
+``delta | eta - 1`` (so a subgroup of order ``delta`` exists), and the
+servers are told only ``eta' = alpha * eta``.  This module provides the
+searches needed to instantiate those parameters for arbitrary sizes.
+
+All functions operate on Python integers, so arbitrarily large moduli are
+supported (the extrema protocols of §6.3 need moduli far beyond 64 bits).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import ParameterError
+
+# Deterministic witness set: correct for all n < 3.3 * 10**24, which covers
+# every modulus used by the default parameterisations.  For larger inputs we
+# add random witnesses on top.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113,
+)
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+
+def _miller_rabin_witness(n: int, a: int) -> bool:
+    """Return True if ``a`` witnesses that ``n`` is composite."""
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_prime(n: int, rounds: int = 16, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic for ``n < 3.3e24`` via a fixed witness set; for larger
+    ``n`` an additional ``rounds`` random witnesses are used, giving an
+    error probability below ``4**-rounds``.
+
+    Args:
+        n: candidate integer.
+        rounds: extra random rounds for very large ``n``.
+        rng: randomness source for the extra rounds (defaults to a fresh
+            :class:`random.Random` seeded from ``n`` for reproducibility).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    for a in _DETERMINISTIC_WITNESSES:
+        if _miller_rabin_witness(n, a):
+            return False
+    if n < 3_317_044_064_679_887_385_961_981:
+        return True
+    rng = rng or random.Random(n & 0xFFFFFFFF)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if _miller_rabin_witness(n, a):
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    if candidate > 2 and candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate
+
+
+def prev_prime(n: int) -> int:
+    """Largest prime strictly smaller than ``n``.
+
+    Raises:
+        ParameterError: if ``n <= 2`` (no prime exists below it).
+    """
+    if n <= 2:
+        raise ParameterError(f"no prime below {n}")
+    candidate = n - 1
+    if candidate > 2 and candidate % 2 == 0:
+        candidate -= 1
+    while candidate >= 2 and not is_prime(candidate):
+        candidate -= 1 if candidate <= 3 else 2
+    if candidate < 2:
+        raise ParameterError(f"no prime below {n}")
+    return candidate
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """Random prime with exactly ``bits`` bits (top bit set).
+
+    Used by the Paillier baseline for key generation.
+    """
+    if bits < 2:
+        raise ParameterError("need at least 2 bits for a prime")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(candidate):
+            return candidate
+
+
+def find_eta_for_delta(delta: int, minimum: int = 0) -> int:
+    """Find a prime ``eta > minimum`` with ``delta | eta - 1``.
+
+    Group theory (§3.1, §4): the multiplicative group mod a prime ``eta`` is
+    cyclic of order ``eta - 1``; a subgroup of prime order ``delta`` exists
+    iff ``delta`` divides ``eta - 1``.  We search ``eta = k * delta + 1``.
+
+    Args:
+        delta: prime order of the desired subgroup.
+        minimum: lower bound for ``eta`` (exclusive).
+
+    Raises:
+        ParameterError: if ``delta`` is not prime.
+    """
+    if not is_prime(delta):
+        raise ParameterError(f"delta={delta} must be prime")
+    k = max(2, (minimum // delta) + 1)
+    while True:
+        eta = k * delta + 1
+        if eta > minimum and is_prime(eta):
+            return eta
+        k += 1
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns ``(g, x, y)`` with ``a*x + b*y == g``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` modulo ``m``.
+
+    Raises:
+        ParameterError: if ``gcd(a, m) != 1``.
+    """
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ParameterError(f"{a} has no inverse modulo {m}")
+    return x % m
+
+
+def factorize(n: int) -> dict[int, int]:
+    """Trial-division factorisation (adequate for the group orders we use).
+
+    Returns a mapping ``prime -> exponent``.
+    """
+    if n < 1:
+        raise ParameterError("factorize expects a positive integer")
+    factors: dict[int, int] = {}
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors[d] = factors.get(d, 0) + 1
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors[n] = factors.get(n, 0) + 1
+    return factors

@@ -1,0 +1,27 @@
+"""Data substrate: relations, domains, synthetic TPC-H data, share stores."""
+
+from repro.data.csv_io import read_relation_csv, write_relation_csv
+from repro.data.domain import Domain, HashedDomain, ProductDomain
+from repro.data.relation import Relation
+from repro.data.storage import ServerStore, ShareKind
+from repro.data.tpch import (
+    LINEITEM_COLUMNS,
+    generate_fleet,
+    generate_lineitem,
+    lineitem_domain,
+)
+
+__all__ = [
+    "Domain",
+    "HashedDomain",
+    "LINEITEM_COLUMNS",
+    "ProductDomain",
+    "Relation",
+    "ServerStore",
+    "ShareKind",
+    "generate_fleet",
+    "generate_lineitem",
+    "lineitem_domain",
+    "read_relation_csv",
+    "write_relation_csv",
+]

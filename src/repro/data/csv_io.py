@@ -1,0 +1,70 @@
+"""CSV import/export for relations.
+
+Real deployments load owner data from files; this keeps the examples and
+any downstream use honest without pulling in pandas.  Integer-looking
+fields are parsed as ints (the protocols aggregate integers; §4 handles
+decimals by scaling), everything else stays a string.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.relation import Relation
+from repro.exceptions import QueryError
+
+
+def _parse_field(text: str):
+    """Int when it looks like one (incl. negatives), else the raw string."""
+    stripped = text.strip()
+    if stripped and (stripped.isdigit()
+                     or (stripped[0] in "+-" and stripped[1:].isdigit())):
+        return int(stripped)
+    return stripped
+
+
+def read_relation_csv(path: str | Path, name: str | None = None,
+                      delimiter: str = ",") -> Relation:
+    """Load a relation from a CSV file with a header row.
+
+    Args:
+        path: CSV file path.
+        name: relation name (default: the file stem).
+        delimiter: field separator.
+
+    Raises:
+        QueryError: on a missing/empty header or ragged rows.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as f:
+        reader = csv.reader(f, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise QueryError(f"{path} is empty (no header row)") from None
+        header = [h.strip() for h in header]
+        if not header or any(not h for h in header):
+            raise QueryError(f"{path} has a blank column name in its header")
+        columns: dict[str, list] = {h: [] for h in header}
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue  # tolerate blank lines
+            if len(row) != len(header):
+                raise QueryError(
+                    f"{path}:{line_no} has {len(row)} fields, "
+                    f"expected {len(header)}"
+                )
+            for h, field in zip(header, row):
+                columns[h].append(_parse_field(field))
+    return Relation(name or path.stem, columns)
+
+
+def write_relation_csv(relation: Relation, path: str | Path,
+                       delimiter: str = ",") -> None:
+    """Write a relation to CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        writer.writerow(relation.column_names)
+        writer.writerows(relation.rows())

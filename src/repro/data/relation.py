@@ -1,0 +1,135 @@
+"""In-memory relational substrate.
+
+Each Prism DB owner holds an ordinary relation (e.g. a hospital's patient
+table, or a TPC-H ``LineItem`` fragment).  The protocols only ever consume
+a handful of relational primitives — distinct values of a column, group-by
+sum / count / max / min — so rather than depending on an external database
+we implement a small, well-tested columnar relation here.  This mirrors the
+paper's setup where owners run the Table 11 preparation queries
+(``select OK, sum(PK) from LineItem group by OK``) locally before sharing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+
+
+class Relation:
+    """A named, column-oriented relation.
+
+    Columns are stored as Python lists (values may be strings or ints);
+    numeric columns can be viewed as numpy arrays via :meth:`column_array`.
+
+    Args:
+        name: relation name (for error messages and plans).
+        columns: mapping of column name → sequence of values; all columns
+            must have equal length.
+    """
+
+    def __init__(self, name: str, columns: Mapping[str, Sequence]):
+        if not columns:
+            raise QueryError(f"relation {name!r} needs at least one column")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise QueryError(
+                f"relation {name!r} has ragged columns: lengths {sorted(lengths)}"
+            )
+        self.name = name
+        self._columns: dict[str, list] = {k: list(v) for k, v in columns.items()}
+        self._num_rows = lengths.pop()
+
+    # -- shape --------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def _require(self, name: str) -> list:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise QueryError(
+                f"relation {self.name!r} has no column {name!r}; "
+                f"available: {sorted(self._columns)}"
+            ) from None
+
+    # -- access -------------------------------------------------------------
+
+    def column(self, name: str) -> list:
+        """Values of a column as a list (copy-free view is not guaranteed)."""
+        return self._require(name)
+
+    def column_array(self, name: str) -> np.ndarray:
+        """Numeric column as an int64 numpy array."""
+        return np.asarray(self._require(name), dtype=np.int64)
+
+    def rows(self) -> Iterable[tuple]:
+        """Iterate rows as tuples in column order."""
+        cols = list(self._columns.values())
+        return zip(*cols) if cols else iter(())
+
+    def distinct(self, name: str) -> list:
+        """Distinct values of a column, in first-appearance order."""
+        return list(dict.fromkeys(self._require(name)))
+
+    # -- relational primitives used by the protocols ------------------------
+
+    def group_by_sum(self, key: str, value: str) -> dict:
+        """``select key, sum(value) group by key`` as a dict."""
+        out: dict = {}
+        for k, v in zip(self._require(key), self._require(value)):
+            out[k] = out.get(k, 0) + v
+        return out
+
+    def group_by_count(self, key: str) -> dict:
+        """``select key, count(*) group by key`` as a dict."""
+        out: dict = {}
+        for k in self._require(key):
+            out[k] = out.get(k, 0) + 1
+        return out
+
+    def group_by_max(self, key: str, value: str) -> dict:
+        """``select key, max(value) group by key`` as a dict."""
+        out: dict = {}
+        for k, v in zip(self._require(key), self._require(value)):
+            if k not in out or v > out[k]:
+                out[k] = v
+        return out
+
+    def group_by_min(self, key: str, value: str) -> dict:
+        """``select key, min(value) group by key`` as a dict."""
+        out: dict = {}
+        for k, v in zip(self._require(key), self._require(value)):
+            if k not in out or v < out[k]:
+                out[k] = v
+        return out
+
+    def select(self, columns: Sequence[str]) -> "Relation":
+        """Projection onto the named columns."""
+        return Relation(self.name, {c: self._require(c) for c in columns})
+
+    def filter_equals(self, column: str, value) -> "Relation":
+        """Rows where ``column == value`` (used by examples, not protocols)."""
+        keep = [i for i, v in enumerate(self._require(column)) if v == value]
+        return Relation(
+            self.name,
+            {c: [vals[i] for i in keep] for c, vals in self._columns.items()},
+        )
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Relation({self.name!r}, rows={self._num_rows}, "
+                f"columns={self.column_names})")

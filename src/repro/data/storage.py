@@ -1,0 +1,108 @@
+"""Server-side secret-share storage, modelling the paper's Table 11.
+
+Each owner outsources, per attribute, either an *additive* share vector
+(the χ indicator tables, length ``b``) or a *Shamir* share vector (the
+aggregation columns).  A server's :class:`ServerStore` holds its share of
+every owner's every column; the paper's layout (five data columns, five
+verification columns prefixed ``v``, plus the count column ``aOK``) maps
+directly onto column names here (``OK``, ``vOK``, ``PK``, ..., ``aOK``).
+
+The store also exposes the "data fetch" operation measured in Exp 1: the
+servers read all owners' share vectors for a column before computing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+
+
+class ShareKind(enum.Enum):
+    """How a stored column is shared (determines the legal operations)."""
+
+    ADDITIVE = "additive"
+    SHAMIR = "shamir"
+
+
+class StoredColumn:
+    """One owner's share of one column, plus its sharing kind."""
+
+    __slots__ = ("values", "kind")
+
+    def __init__(self, values: np.ndarray, kind: ShareKind):
+        self.values = np.asarray(values, dtype=np.int64)
+        self.kind = kind
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes)
+
+
+class ServerStore:
+    """All share vectors held by a single server.
+
+    Keys are ``(owner_id, column_name)``.  The protocols fetch *columns
+    across owners* (e.g. every owner's ``OK`` share) — :meth:`fetch_column`
+    returns them ordered by owner id, which is the layout the vectorised
+    server kernels consume.
+    """
+
+    def __init__(self):
+        self._data: dict[tuple[int, str], StoredColumn] = {}
+
+    def put(self, owner_id: int, column: str, values: np.ndarray,
+            kind: ShareKind) -> None:
+        """Store (or overwrite) one owner's share of one column."""
+        self._data[(owner_id, column)] = StoredColumn(values, kind)
+
+    def get(self, owner_id: int, column: str) -> StoredColumn:
+        try:
+            return self._data[(owner_id, column)]
+        except KeyError:
+            raise ProtocolError(
+                f"server holds no share of column {column!r} for owner {owner_id}"
+            ) from None
+
+    def has(self, owner_id: int, column: str) -> bool:
+        return (owner_id, column) in self._data
+
+    def owners_with(self, column: str) -> list[int]:
+        """Owner ids that have outsourced the named column, sorted."""
+        return sorted(o for (o, c) in self._data if c == column)
+
+    def columns_of(self, owner_id: int) -> list[str]:
+        """Column names outsourced by one owner, sorted."""
+        return sorted(c for (o, c) in self._data if o == owner_id)
+
+    def fetch_column(self, column: str, kind: ShareKind,
+                     owner_ids: list[int] | None = None) -> list[np.ndarray]:
+        """All owners' shares of ``column``, ordered by owner id.
+
+        This is the Exp-1 "data fetch" step.  Raises if any owner's column
+        was stored with a different :class:`ShareKind` than requested —
+        mixing additive and Shamir shares is a protocol bug.
+        """
+        owners = owner_ids if owner_ids is not None else self.owners_with(column)
+        if not owners:
+            raise ProtocolError(f"no owner outsourced column {column!r}")
+        out = []
+        for owner in owners:
+            stored = self.get(owner, column)
+            if stored.kind is not kind:
+                raise ProtocolError(
+                    f"column {column!r} of owner {owner} is {stored.kind.value}-"
+                    f"shared but the protocol expected {kind.value}"
+                )
+            out.append(stored.values)
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of share data at this server."""
+        return sum(col.nbytes for col in self._data.values())
+
+    def __len__(self) -> int:
+        return len(self._data)

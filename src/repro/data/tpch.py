@@ -1,0 +1,93 @@
+"""Synthetic TPC-H-style ``LineItem`` data (§8.1).
+
+The paper's evaluation uses five columns of the TPC-H ``LineItem`` table:
+Orderkey (OK), Partkey (PK), Linenumber (LN), Suppkey (SK) and Discount
+(DT).  PSI/PSU run over OK; the others feed the aggregation protocols.
+Since TPC-H dumps are not shipped here, we generate statistically similar
+data deterministically: each owner holds a subset of the OK domain (with a
+configurable overlap fraction so intersections are non-trivial) and random
+positive values in the remaining columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.domain import Domain
+from repro.data.relation import Relation
+from repro.exceptions import ParameterError
+
+#: Column names mirroring the paper's Table 11 data columns.
+LINEITEM_COLUMNS = ("OK", "PK", "LN", "SK", "DT")
+
+#: Value bounds for the non-key columns (kept small so PSI-Sum totals stay
+#: far below the Shamir field prime even at 50 owners x 4 attributes).
+_VALUE_BOUNDS = {"PK": 200, "LN": 7, "SK": 100, "DT": 10}
+
+
+def lineitem_domain(size: int) -> Domain:
+    """The OK domain ``{1, ..., size}`` used for PSI/PSU."""
+    return Domain.integer_range("OK", size)
+
+
+def guaranteed_common_keys(domain: Domain) -> list[int]:
+    """The OK keys present at every generated owner (the known m-way core)."""
+    b = domain.size
+    count = max(2, min(b, b // 1000 or 2))
+    return list(range(1, count + 1))
+
+
+def generate_lineitem(owner_index: int, domain: Domain, rows: int,
+                      seed: int = 7, common_fraction: float = 0.2) -> Relation:
+    """Generate one owner's LineItem fragment.
+
+    A small key prefix (:func:`guaranteed_common_keys`) appears at *every*
+    owner, so the m-way intersection is non-empty at any fleet size; a
+    further ``common_fraction`` of rows is drawn from a shared pool (so
+    pairwise overlaps are realistic) and the rest is an owner-private
+    sample.  Rows may repeat an OK value (multiple line items per order),
+    which exercises the owner-side group-by preparation of Table 11.
+
+    Args:
+        owner_index: which owner (seeds the private part of the sample).
+        domain: the OK :class:`Domain`.
+        rows: number of rows to generate.
+        seed: experiment-level seed shared by all owners.
+        common_fraction: fraction of rows drawn from the shared key pool.
+
+    Raises:
+        ParameterError: if ``rows`` is not positive.
+    """
+    if rows < 1:
+        raise ParameterError("need at least one row")
+    if not 0.0 <= common_fraction <= 1.0:
+        raise ParameterError("common_fraction must lie in [0, 1]")
+    b = domain.size
+    guaranteed = np.asarray(guaranteed_common_keys(domain), dtype=np.int64)
+    guaranteed = guaranteed[: max(1, min(len(guaranteed), rows))]
+    common_pool = max(1, min(b, int(b * 0.1) or 1))
+    rng = np.random.default_rng((seed, owner_index))
+    remaining = rows - guaranteed.size
+    n_common = int(remaining * common_fraction)
+    n_private = remaining - n_common
+    # Keys 1..common_pool are shared; every owner samples from them.
+    common_keys = rng.integers(1, common_pool + 1, size=n_common)
+    private_keys = rng.integers(1, b + 1, size=n_private)
+    ok = np.concatenate([guaranteed, common_keys, private_keys])
+    rng.shuffle(ok)
+    columns = {"OK": ok.tolist()}
+    for name in LINEITEM_COLUMNS[1:]:
+        bound = _VALUE_BOUNDS[name]
+        columns[name] = rng.integers(1, bound + 1, size=rows).tolist()
+    return Relation(f"lineitem_owner{owner_index}", columns)
+
+
+def generate_fleet(num_owners: int, domain: Domain, rows_per_owner: int,
+                   seed: int = 7, common_fraction: float = 0.2) -> list[Relation]:
+    """LineItem fragments for a whole fleet of owners."""
+    if num_owners < 2:
+        raise ParameterError("Prism needs at least two owners")
+    return [
+        generate_lineitem(i, domain, rows_per_owner, seed, common_fraction)
+        for i in range(num_owners)
+    ]

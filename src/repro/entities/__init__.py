@@ -1,0 +1,25 @@
+"""Prism entities: initiator, DB owners, servers, announcer, adversaries."""
+
+from repro.entities.adversary import (
+    DropAggregateServer,
+    FalsifyVerificationServer,
+    InjectFakeServer,
+    ReplaySwapServer,
+    SkipCellsServer,
+)
+from repro.entities.announcer import Announcer
+from repro.entities.initiator import Initiator
+from repro.entities.owner import DBOwner
+from repro.entities.server import PrismServer
+
+__all__ = [
+    "Announcer",
+    "DBOwner",
+    "DropAggregateServer",
+    "FalsifyVerificationServer",
+    "Initiator",
+    "InjectFakeServer",
+    "PrismServer",
+    "ReplaySwapServer",
+    "SkipCellsServer",
+]

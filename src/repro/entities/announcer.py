@@ -1,0 +1,109 @@
+"""The announcer S_a (§3.2 entity 4, used by max/min/median, §6.3–6.4).
+
+The announcer receives the PF-permuted additive shares of every owner's
+blinded value from the two servers, reconstructs the blinded values (it
+may: blinding means it learns neither the true values nor — thanks to the
+permutation — whose they are), finds the requested order statistic, and
+returns *additive shares* of the result and of its permuted index to the
+servers for forwarding.  It talks to servers only, never to owners.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import AnnouncerParams
+from repro.crypto.additive import share_bigint
+from repro.crypto.prg import SeededPRG, derive_seed
+from repro.exceptions import ProtocolError
+from repro.network.message import Endpoint, Role
+
+
+class Announcer:
+    """The result announcer for extrema/median queries.
+
+    Args:
+        params: the announcer's (minimal) knowledge view.
+        seed: randomness seed for the shares it deals back.
+    """
+
+    def __init__(self, params: AnnouncerParams, seed: int = 0):
+        self.params = params
+        self.endpoint = Endpoint(Role.ANNOUNCER, 0)
+        self._prg = SeededPRG(derive_seed(seed, "announcer"))
+
+    def _combine(self, shares_s1: list[int], shares_s2: list[int]) -> list[int]:
+        """Eq. 13: add the i-th shares from the two servers."""
+        if len(shares_s1) != len(shares_s2):
+            raise ProtocolError(
+                f"share arrays differ in length: {len(shares_s1)} vs "
+                f"{len(shares_s2)}"
+            )
+        q = self.params.extrema_modulus
+        return [(a + b) % q for a, b in zip(shares_s1, shares_s2)]
+
+    def _share_back(self, value: int) -> tuple[int, int]:
+        shares = share_bigint(int(value), self.params.extrema_modulus, 2,
+                              self._prg)
+        return shares[0], shares[1]
+
+    def announce_max(self, shares_s1: list[int], shares_s2: list[int]
+                     ) -> dict[str, tuple[int, int]]:
+        """Eq. 14: find max + its (permuted) index; share both back.
+
+        Returns ``{"value": (share_s1, share_s2), "index": (...)}``.
+        """
+        combined = self._combine(shares_s1, shares_s2)
+        best = max(range(len(combined)), key=combined.__getitem__)
+        return {
+            "value": self._share_back(combined[best]),
+            "index": self._share_back(best),
+        }
+
+    def announce_min(self, shares_s1: list[int], shares_s2: list[int]
+                     ) -> dict[str, tuple[int, int]]:
+        """FindMin variant of :meth:`announce_max`."""
+        combined = self._combine(shares_s1, shares_s2)
+        best = min(range(len(combined)), key=combined.__getitem__)
+        return {
+            "value": self._share_back(combined[best]),
+            "index": self._share_back(best),
+        }
+
+    def find_common_cells(self, output_s1, output_s2) -> list[int]:
+        """§6.6 note: drive the bucket-tree traversal at the announcer.
+
+        Multiplies the two servers' Eq. 3 outputs modulo ``eta`` and
+        returns the indices of the common cells.  Only available when the
+        initiator dealt ``eta`` to this announcer (the owner-free
+        traversal mode); the announcer thereby learns which bucket nodes
+        are common — the documented trade-off of this mode.
+
+        Raises:
+            ProtocolError: if ``eta`` was not dealt.
+        """
+        if self.params.eta is None:
+            raise ProtocolError(
+                "announcer-driven traversal needs eta; deal announcer "
+                "params with include_eta=True"
+            )
+        eta = self.params.eta
+        return [i for i, (a, b) in enumerate(zip(output_s1, output_s2))
+                if (int(a) % eta) * (int(b) % eta) % eta == 1]
+
+    def announce_median(self, shares_s1: list[int], shares_s2: list[int]
+                        ) -> dict[str, tuple[int, int] | None]:
+        """§6.4: sort the blinded values and share back the middle one(s).
+
+        For odd ``m`` returns one middle value (``"high"`` is ``None``);
+        for even ``m`` returns both middle values, which the owners invert
+        and average.
+        """
+        combined = sorted(self._combine(shares_s1, shares_s2))
+        n = len(combined)
+        if n == 0:
+            raise ProtocolError("median of an empty share array")
+        if n % 2 == 1:
+            return {"low": self._share_back(combined[n // 2]), "high": None}
+        return {
+            "low": self._share_back(combined[n // 2 - 1]),
+            "high": self._share_back(combined[n // 2]),
+        }

@@ -1,0 +1,156 @@
+"""The initiator (§3.2 entity 3, §4 "parameters known to the initiator").
+
+A trusted parameter-dealing entity — analogous to a PKI certificate
+authority.  It never touches data or results.  Its jobs:
+
+* choose the moduli: a prime ``delta > m``, a prime ``eta`` with
+  ``delta | eta - 1``, the server-side modulus ``eta' = alpha * eta``,
+  the Shamir field prime, and the extrema modulus (a prime exceeding any
+  blinded value ``F(M) + r``);
+* find the generator ``g`` of the order-``delta`` subgroup;
+* pick the permutation functions, including the Eq. (1) quadruple;
+* pick the order-preserving polynomial ``F`` of degree ``m + 1``;
+* deal additive shares of ``m`` to the servers;
+* hand every entity its knowledge view (:mod:`repro.core.params`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import (
+    AnnouncerParams,
+    OwnerParams,
+    ServerGroupView,
+    ServerParams,
+)
+from repro.crypto.groups import CyclicGroup
+from repro.crypto.permutation import Permutation, equation1_quadruple
+from repro.crypto.polynomial import OrderPreservingPolynomial
+from repro.crypto.primes import find_eta_for_delta, is_prime, next_prime
+from repro.crypto.prg import derive_seed
+from repro.crypto.shamir import DEFAULT_FIELD_PRIME
+from repro.data.domain import Domain, ProductDomain
+from repro.exceptions import ParameterError
+
+
+class Initiator:
+    """Generates and deals all Prism system parameters.
+
+    Args:
+        num_owners: ``m`` (> 2 per the paper; >= 2 accepted for the
+            two-owner comparison experiment of Table 13).
+        domain: the PSI/PSU attribute domain (length ``b`` of the χ table).
+        seed: master seed; every derived secret (permutations, PRG seed,
+            share randomness) comes from it, so whole protocol runs are
+            reproducible.
+        delta: additive-group prime; default: smallest prime > max(m, 100).
+        alpha: multiplier hiding ``eta`` inside ``eta' = alpha * eta``.
+        field_prime: Shamir field prime for aggregation columns.
+        value_bound: inclusive upper bound for aggregation-attribute values;
+            sizes the extrema modulus so ``F(M) + r`` never wraps.
+    """
+
+    def __init__(self, num_owners: int, domain: Domain | ProductDomain,
+                 seed: int = 0, delta: int | None = None, alpha: int = 13,
+                 field_prime: int = DEFAULT_FIELD_PRIME,
+                 value_bound: int = 10_000):
+        if num_owners < 2:
+            raise ParameterError("Prism needs at least two DB owners")
+        self.num_owners = num_owners
+        self.domain = domain
+        self.seed = seed
+        self.delta = delta if delta is not None else next_prime(max(num_owners, 100))
+        if not is_prime(self.delta):
+            raise ParameterError(f"delta={self.delta} must be prime")
+        if self.delta <= num_owners:
+            raise ParameterError(
+                f"delta={self.delta} must exceed the owner count {num_owners} "
+                f"(the χ-cell sums live in [0, m])"
+            )
+        eta = find_eta_for_delta(self.delta, minimum=self.delta)
+        self.group = CyclicGroup(self.delta, eta, alpha=alpha)
+        self.field_prime = field_prime
+        self.value_bound = value_bound
+
+        self.polynomial = OrderPreservingPolynomial.for_owner_count(
+            num_owners, seed=derive_seed(seed, "F")
+        )
+        self.extrema_modulus = next_prime(
+            self.polynomial.max_blinded_value(value_bound)
+        )
+
+        b = domain.size
+        self.pf = Permutation.random(b, derive_seed(seed, "PF"), "PF")
+        # PF over owner slots for the §6.3 extrema rounds — the paper's PF
+        # is "known to DB owners and servers" (§4 assumption viii).
+        self.pf_owners = Permutation.random(
+            num_owners, derive_seed(seed, "PF-owners"), "PF-owners"
+        )
+        self._quadruple = equation1_quadruple(b, derive_seed(seed, "EQ1"))
+        self.prg_seed = derive_seed(seed, "server-prg")
+        self.hash_seed = derive_seed(seed, "domain-hash")
+
+        # Additive shares of m for the servers (any trusted party may deal
+        # these, §4); drawn deterministically from the master seed.
+        rng = np.random.default_rng(derive_seed(seed, "m-shares"))
+        first = int(rng.integers(0, self.delta))
+        self._m_shares = [first, (num_owners - first) % self.delta]
+
+    # -- dealing ------------------------------------------------------------
+
+    def owner_params(self) -> OwnerParams:
+        """The knowledge view dealt to every DB owner."""
+        return OwnerParams(
+            num_owners=self.num_owners,
+            delta=self.delta,
+            eta=self.group.eta,
+            field_prime=self.field_prime,
+            domain=self.domain,
+            pf=self.pf,
+            pf_owners=self.pf_owners,
+            pf_db1=self._quadruple["pf_db1"],
+            pf_db2=self._quadruple["pf_db2"],
+            polynomial=self.polynomial,
+            extrema_modulus=self.extrema_modulus,
+            hash_seed=self.hash_seed,
+        )
+
+    def server_params(self, server_index: int) -> ServerParams:
+        """The knowledge view dealt to server ``server_index`` (0-based).
+
+        Only the two additive-share servers (indices 0 and 1) receive a
+        share of ``m``; the third (Shamir-only) server gets share 0, which
+        it never uses.
+        """
+        m_share = self._m_shares[server_index] if server_index < 2 else 0
+        return ServerParams(
+            num_owners=self.num_owners,
+            delta=self.delta,
+            group=ServerGroupView(
+                delta=self.delta,
+                eta_prime=self.group.eta_prime,
+                g=self.group.g,
+                power_table=self.group.power_table,
+            ),
+            field_prime=self.field_prime,
+            pf=self.pf,
+            pf_owners=self.pf_owners,
+            pf_s1=self._quadruple["pf_s1"],
+            pf_s2=self._quadruple["pf_s2"],
+            prg_seed=self.prg_seed,
+            extrema_modulus=self.extrema_modulus,
+            m_share=m_share,
+        )
+
+    def announcer_params(self, include_eta: bool = False) -> AnnouncerParams:
+        """The knowledge view dealt to the announcer.
+
+        ``include_eta`` opts into announcer-driven bucket traversal
+        (§6.6's note); see :class:`AnnouncerParams` for the leakage
+        trade-off.
+        """
+        return AnnouncerParams(
+            extrema_modulus=self.extrema_modulus,
+            eta=self.group.eta if include_eta else None,
+        )

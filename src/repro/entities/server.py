@@ -1,0 +1,278 @@
+"""The Prism server (§3.2 entity 2).
+
+A server stores secret shares and runs the per-query kernels.  It never
+sees cleartext, never addresses another server, and executes identical
+instruction sequences regardless of the data (access-pattern hiding): all
+kernels are branch-free sweeps over the full χ length ``b``.
+
+Kernels implemented here:
+
+* :meth:`psi_round` — Eq. 3: ``g^((Σ_j A(x_i)_j ⊖ A(m)) mod δ) mod η'``.
+* :meth:`verification_round` — Eq. 7 over the complement table.
+* :meth:`psu_round` — Eq. 18: masked additive sums with common PRG.
+* :meth:`count_round` — PSI output permuted with ``PF_s1`` (§6.5).
+* :meth:`aggregate_round` — Eq. 11: Σ_j Shamir(x2)·Shamir(z) per cell.
+* :meth:`extrema_collect` / :meth:`fpos_round` — the §6.3 max machinery.
+
+The heavy kernels accept a ``num_threads`` argument and chunk the χ table
+across a thread pool (numpy releases the GIL inside vector ops), which is
+what Exp 1 (Fig. 3) sweeps.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.params import ServerParams
+from repro.crypto.prg import SeededPRG
+from repro.data.storage import ServerStore, ShareKind
+from repro.exceptions import ProtocolError
+from repro.network.message import Endpoint, Role
+
+
+def _chunk_bounds(n: int, num_chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most ``num_chunks`` contiguous slices."""
+    num_chunks = max(1, min(num_chunks, n)) if n else 1
+    step = (n + num_chunks - 1) // num_chunks if n else 1
+    return [(lo, min(lo + step, n)) for lo in range(0, n, step)] or [(0, 0)]
+
+
+def _run_chunked(kernel, n: int, num_threads: int) -> None:
+    """Run ``kernel(lo, hi)`` over chunks, threaded when requested."""
+    bounds = _chunk_bounds(n, num_threads)
+    if num_threads <= 1 or len(bounds) == 1:
+        for lo, hi in bounds:
+            kernel(lo, hi)
+        return
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        list(pool.map(lambda span: kernel(*span), bounds))
+
+
+class PrismServer:
+    """An honest Prism server.
+
+    Args:
+        index: server id (0 and 1 hold additive shares; 2 joins for Shamir).
+        params: the knowledge view dealt by the initiator.
+    """
+
+    def __init__(self, index: int, params: ServerParams):
+        self.index = index
+        self.params = params
+        self.store = ServerStore()
+        self.endpoint = Endpoint(Role.SERVER, index)
+
+    # -- storage ------------------------------------------------------------
+
+    def receive_shares(self, owner_id: int, column: str, values: np.ndarray,
+                       kind: ShareKind) -> None:
+        """Accept an outsourced share vector from an owner (Phase 1)."""
+        self.store.put(owner_id, column, values, kind)
+
+    def fetch_additive(self, column: str,
+                       owner_ids: list[int] | None = None) -> list[np.ndarray]:
+        """Data-fetch step: all owners' additive shares of a column."""
+        return self.store.fetch_column(column, ShareKind.ADDITIVE, owner_ids)
+
+    def fetch_shamir(self, column: str,
+                     owner_ids: list[int] | None = None) -> list[np.ndarray]:
+        """Data-fetch step: all owners' Shamir shares of a column."""
+        return self.store.fetch_column(column, ShareKind.SHAMIR, owner_ids)
+
+    # -- additive-share kernels ----------------------------------------------
+
+    def _sum_shares(self, shares: list[np.ndarray], num_threads: int) -> np.ndarray:
+        """Σ_j shares_j mod δ, chunk-threaded over the χ length."""
+        delta = self.params.delta
+        n = shares[0].shape[0]
+        acc = np.zeros(n, dtype=np.int64)
+
+        def kernel(lo: int, hi: int) -> None:
+            local = acc[lo:hi]
+            for s in shares:
+                local += s[lo:hi]
+            np.mod(local, delta, out=local)
+
+        # Sum of m shares each < delta stays far below int64 overflow for
+        # every supported (m, delta), so one final mod per chunk suffices.
+        _run_chunked(kernel, n, num_threads)
+        return acc
+
+    def psi_round(self, column: str, num_threads: int = 1,
+                  owner_ids: list[int] | None = None,
+                  shares: list[np.ndarray] | None = None) -> np.ndarray:
+        """Eq. 3: the oblivious PSI kernel over all owners' χ shares.
+
+        ``shares`` may be pre-fetched (via :meth:`fetch_additive`) so the
+        caller can time the data-fetch step separately, as Exp 1 does.
+        """
+        if shares is None:
+            shares = self.fetch_additive(column, owner_ids)
+        num_owners = len(shares)
+        exponents = self._sum_shares(shares, num_threads)
+        # ⊖ A(m): subtract this server's additive share of the owner count.
+        # When the query spans a subset of owners, m is that subset's size;
+        # shares of it are deal with the same split ratio.
+        m_share = self.params.m_share
+        if owner_ids is not None and num_owners != self.params.num_owners:
+            m_share = self._subset_m_share(num_owners)
+        exponents = np.mod(exponents - m_share, self.params.delta)
+        return self._pow_chunked(exponents, num_threads)
+
+    def _subset_m_share(self, subset_size: int) -> int:
+        """Additive share of a subset owner count, derived like A(m).
+
+        Both servers derive their share from the common PRG seed so the
+        shares still sum to ``subset_size`` without any coordination.
+        """
+        prg = SeededPRG(self.params.prg_seed, f"m-share-{subset_size}")
+        first = prg.integer(0, self.params.delta)
+        if self.index == 0:
+            return first
+        return (subset_size - first) % self.params.delta
+
+    def _pow_chunked(self, exponents: np.ndarray, num_threads: int) -> np.ndarray:
+        table = self.params.group.power_table
+        delta = self.params.delta
+        out = np.empty_like(exponents)
+
+        def kernel(lo: int, hi: int) -> None:
+            out[lo:hi] = table[np.mod(exponents[lo:hi], delta)]
+
+        _run_chunked(kernel, exponents.shape[0], num_threads)
+        return out
+
+    def verification_round(self, column: str, num_threads: int = 1,
+                           owner_ids: list[int] | None = None,
+                           shares: list[np.ndarray] | None = None) -> np.ndarray:
+        """Eq. 7: ``g^(Σ_j A(x̄_i)_j) mod η'`` over the complement table.
+
+        Identical sweep shape as :meth:`psi_round` (no ⊖ A(m) term), so a
+        server cannot distinguish verification traffic from PSI traffic.
+        """
+        if shares is None:
+            shares = self.fetch_additive(column, owner_ids)
+        exponents = self._sum_shares(shares, num_threads)
+        return self._pow_chunked(exponents, num_threads)
+
+    def psu_round(self, column: str, query_nonce: int, num_threads: int = 1,
+                  owner_ids: list[int] | None = None,
+                  shares: list[np.ndarray] | None = None) -> np.ndarray:
+        """Eq. 18: the PSU kernel.
+
+        Both servers derive the same mask vector ``rand[i] ∈ [1, δ)`` from
+        the common PRG seed and the query nonce, multiply the summed shares
+        by it and reduce modulo δ.  Owners adding the two outputs get
+        ``(Σ_j x_ij) * rand[i] mod δ`` — zero iff no owner holds the value.
+        """
+        if shares is None:
+            shares = self.fetch_additive(column, owner_ids)
+        summed = self._sum_shares(shares, num_threads)
+        prg = SeededPRG(self.params.prg_seed, f"psu-{query_nonce}")
+        rand = prg.integers(summed.shape[0], 1, self.params.delta)
+        out = np.empty_like(summed)
+
+        def kernel(lo: int, hi: int) -> None:
+            out[lo:hi] = np.mod(summed[lo:hi] * rand[lo:hi], self.params.delta)
+
+        _run_chunked(kernel, summed.shape[0], num_threads)
+        return out
+
+    def count_round(self, column: str, num_threads: int = 1,
+                    owner_ids: list[int] | None = None,
+                    shares: list[np.ndarray] | None = None,
+                    use_pf_s2: bool = False) -> np.ndarray:
+        """§6.5: PSI output permuted server-side before leaving the server.
+
+        Owners can still count the ones (the cardinality) but can no longer
+        map positions back to domain values, because ``PF_s1`` is unknown
+        to them.  Count *verification* pairs a ``PF_s1``-permuted data
+        stream (over χ pre-permuted with ``PF_db1``) with a
+        ``PF_s2``-permuted complement stream (over χ̄ pre-permuted with
+        ``PF_db2``): by Eq. (1) both arrive permuted by the same unknown
+        ``PF_i``, so the owner can pair cells without learning positions.
+        """
+        out = self.psi_round(column, num_threads, owner_ids, shares)
+        pf = self.params.pf_s2 if use_pf_s2 else self.params.pf_s1
+        return pf.apply(out)
+
+    def count_verification_round(self, column: str, num_threads: int = 1,
+                                 owner_ids: list[int] | None = None,
+                                 shares: list[np.ndarray] | None = None
+                                 ) -> np.ndarray:
+        """Complement stream for count verification, permuted by ``PF_s2``."""
+        out = self.verification_round(column, num_threads, owner_ids, shares)
+        return self.params.pf_s2.apply(out)
+
+    # -- Shamir kernels (aggregation round 2) ---------------------------------
+
+    def aggregate_round(self, column: str, z_share: np.ndarray,
+                        num_threads: int = 1,
+                        owner_ids: list[int] | None = None,
+                        shares: list[np.ndarray] | None = None) -> np.ndarray:
+        """Eq. 11: ``Σ_j S(x_i2)_j × S(z_i)`` per cell, mod the field prime.
+
+        ``z_share`` is this server's Shamir share of the querier's 0/1
+        intersection-indicator vector.  The product of two degree-1 shares
+        is a degree-2 share; owners reconstruct with all three servers.
+        """
+        if shares is None:
+            shares = self.fetch_shamir(column, owner_ids)
+        p = self.params.field_prime
+        n = z_share.shape[0]
+        if shares[0].shape[0] != n:
+            raise ProtocolError(
+                f"z vector length {n} does not match column length "
+                f"{shares[0].shape[0]}"
+            )
+        acc = np.zeros(n, dtype=np.int64)
+
+        def kernel(lo: int, hi: int) -> None:
+            z = z_share[lo:hi]
+            local = acc[lo:hi]
+            for s in shares:
+                # p < 2**31 keeps each product below 2**62; reduce per term.
+                local += np.mod(s[lo:hi] * z, p)
+                np.mod(local, p, out=local)
+
+        _run_chunked(kernel, n, num_threads)
+        return acc
+
+    # -- extrema machinery (§6.3) ---------------------------------------------
+
+    def extrema_collect(self, owner_shares: dict[int, int]) -> list[int]:
+        """Step 4: place owners' blinded shares in an array and permute.
+
+        Args:
+            owner_shares: owner id → this server's additive share (big int)
+                of that owner's blinded value ``v = F(M) + r``.
+
+        Returns the ``PF``-permuted share array destined for the announcer.
+        """
+        m = self.params.num_owners
+        if sorted(owner_shares) != list(range(m)):
+            raise ProtocolError(
+                f"extrema round expected shares from all {m} owners, got "
+                f"{sorted(owner_shares)}"
+            )
+        array = np.empty(m, dtype=object)
+        for owner, share in owner_shares.items():
+            array[owner] = share
+        permuted = self.params.pf_owners.apply(array)
+        return [int(v) for v in permuted]
+
+    def fpos_round(self, alpha_shares: dict[int, int]) -> list[int]:
+        """Step 6: assemble the fpos vector of α shares, ordered by owner."""
+        m = self.params.num_owners
+        if sorted(alpha_shares) != list(range(m)):
+            raise ProtocolError(
+                f"fpos round expected shares from all {m} owners, got "
+                f"{sorted(alpha_shares)}"
+            )
+        return [int(alpha_shares[i]) for i in range(m)]
+
+    def forward(self, payload):
+        """Relay a payload unchanged (announcer→owner hops go via servers)."""
+        return payload

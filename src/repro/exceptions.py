@@ -1,0 +1,54 @@
+"""Exception hierarchy for the Prism reproduction.
+
+Every error raised by this library derives from :class:`PrismError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the interesting sub-cases (bad parameters, protocol
+violations, failed verification).
+"""
+
+from __future__ import annotations
+
+
+class PrismError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(PrismError):
+    """A system parameter is missing, inconsistent, or out of range.
+
+    Raised by the initiator during parameter generation (e.g. when ``delta``
+    does not divide ``eta - 1``) and by protocol entry points when the
+    supplied parameter views are incompatible with the requested operation.
+    """
+
+
+class ShareError(PrismError):
+    """Secret shares are malformed or insufficient for reconstruction."""
+
+
+class ProtocolError(PrismError):
+    """An entity observed a message that violates the Prism protocol.
+
+    This includes structural violations such as a server attempting to open
+    a channel to another server, or a round arriving out of order.
+    """
+
+
+class VerificationError(PrismError):
+    """Result verification failed: a server misbehaved (or data corrupted).
+
+    Carries the indices of the cells whose proof ``r1 * r2 mod eta != 1``
+    when available, so callers can report *where* tampering was detected.
+    """
+
+    def __init__(self, message: str, failed_cells=None):
+        super().__init__(message)
+        self.failed_cells = list(failed_cells) if failed_cells is not None else None
+
+
+class DomainError(PrismError):
+    """A value falls outside the declared attribute domain."""
+
+
+class QueryError(PrismError):
+    """A high-level query is malformed or references unknown attributes."""

@@ -1,0 +1,16 @@
+"""Simulated network: endpoints, transfers, traffic accounting, wire codec."""
+
+from repro.network.codec import decode, encode
+from repro.network.message import Endpoint, Message, Role, payload_nbytes
+from repro.network.transport import LocalTransport, TrafficStats
+
+__all__ = [
+    "Endpoint",
+    "LocalTransport",
+    "Message",
+    "Role",
+    "TrafficStats",
+    "decode",
+    "encode",
+    "payload_nbytes",
+]

@@ -1,0 +1,158 @@
+"""Wire format for Prism messages.
+
+The in-process transport can hand numpy arrays around by reference, but a
+deployable system ships bytes.  This codec defines a compact, versioned
+binary encoding for every payload type the protocols send:
+
+* int64 share vectors (the χ/aggregation streams),
+* arbitrary-precision integers (extrema shares),
+* lists of big ints (announcer arrays, fpos vectors),
+* share-pair tuples and string-keyed dicts of any of the above.
+
+Layout: 1 magic byte ``0x5A``, 1 version byte, 1 type tag, then the
+type-specific body.  All integers are little-endian.  The transport's
+``serialize=True`` mode round-trips every transfer through this codec,
+so the accounting becomes the true wire size and any non-serialisable
+payload is caught immediately.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+
+MAGIC = 0x5A
+VERSION = 1
+
+_TAG_VECTOR = 1
+_TAG_BIGINT = 2
+_TAG_LIST = 3
+_TAG_DICT = 4
+_TAG_TUPLE = 5
+_TAG_NONE = 6
+_TAG_STR = 7
+
+
+def encode(payload) -> bytes:
+    """Encode a protocol payload to bytes.
+
+    Raises:
+        ProtocolError: for unsupported payload types.
+    """
+    return struct.pack("<BB", MAGIC, VERSION) + _encode_body(payload)
+
+
+def _encode_body(payload) -> bytes:
+    if payload is None:
+        return struct.pack("<B", _TAG_NONE)
+    if isinstance(payload, np.ndarray):
+        if payload.ndim != 1:
+            raise ProtocolError("only 1-D share vectors travel on the wire")
+        data = np.ascontiguousarray(payload, dtype=np.int64).tobytes()
+        return struct.pack("<BQ", _TAG_VECTOR, payload.shape[0]) + data
+    if isinstance(payload, bool):
+        raise ProtocolError("booleans are not a wire type; send 0/1 ints")
+    if isinstance(payload, int):
+        raw = _int_to_bytes(payload)
+        return struct.pack("<BBQ", _TAG_BIGINT, 1 if payload < 0 else 0,
+                           len(raw)) + raw
+    if isinstance(payload, str):
+        raw = payload.encode("utf-8")
+        return struct.pack("<BQ", _TAG_STR, len(raw)) + raw
+    if isinstance(payload, tuple):
+        parts = [_encode_body(item) for item in payload]
+        return struct.pack("<BQ", _TAG_TUPLE, len(parts)) + b"".join(parts)
+    if isinstance(payload, list):
+        parts = [_encode_body(item) for item in payload]
+        return struct.pack("<BQ", _TAG_LIST, len(parts)) + b"".join(parts)
+    if isinstance(payload, dict):
+        parts = []
+        for key, value in payload.items():
+            if not isinstance(key, str):
+                raise ProtocolError("wire dicts use string keys")
+            parts.append(_encode_body(key))
+            parts.append(_encode_body(value))
+        return struct.pack("<BQ", _TAG_DICT, len(payload)) + b"".join(parts)
+    raise ProtocolError(
+        f"cannot serialise payload of type {type(payload).__name__}"
+    )
+
+
+def _int_to_bytes(value: int) -> bytes:
+    value = abs(value)
+    length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "little")
+
+
+def decode(blob: bytes):
+    """Decode bytes produced by :func:`encode`.
+
+    Raises:
+        ProtocolError: on a bad magic byte, unknown version/tag, or a
+            truncated body.
+    """
+    if len(blob) < 2:
+        raise ProtocolError("wire message too short for its header")
+    magic, version = struct.unpack_from("<BB", blob, 0)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic byte 0x{magic:02x}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported wire version {version}")
+    payload, offset = _decode_body(blob, 2)
+    if offset != len(blob):
+        raise ProtocolError(f"{len(blob) - offset} trailing bytes on the wire")
+    return payload
+
+
+def _decode_body(blob: bytes, offset: int):
+    try:
+        (tag,) = struct.unpack_from("<B", blob, offset)
+    except struct.error:
+        raise ProtocolError("truncated wire message") from None
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_VECTOR:
+        (length,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        end = offset + 8 * length
+        if end > len(blob):
+            raise ProtocolError("truncated share vector")
+        vector = np.frombuffer(blob[offset:end], dtype="<i8").astype(np.int64)
+        return vector, end
+    if tag == _TAG_BIGINT:
+        negative, length = struct.unpack_from("<BQ", blob, offset)
+        offset += 9
+        end = offset + length
+        if end > len(blob):
+            raise ProtocolError("truncated integer")
+        value = int.from_bytes(blob[offset:end], "little")
+        return -value if negative else value, end
+    if tag == _TAG_STR:
+        (length,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        end = offset + length
+        if end > len(blob):
+            raise ProtocolError("truncated string")
+        return blob[offset:end].decode("utf-8"), end
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        (count,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        items = []
+        for _ in range(count):
+            item, offset = _decode_body(blob, offset)
+            items.append(item)
+        return (tuple(items) if tag == _TAG_TUPLE else items), offset
+    if tag == _TAG_DICT:
+        (count,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        out = {}
+        for _ in range(count):
+            key, offset = _decode_body(blob, offset)
+            value, offset = _decode_body(blob, offset)
+            out[key] = value
+        return out, offset
+    raise ProtocolError(f"unknown wire tag {tag}")

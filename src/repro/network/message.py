@@ -1,0 +1,70 @@
+"""Message and traffic-accounting primitives for the simulated network.
+
+Prism's headline property is *no communication among servers*; the
+transport enforces that structurally (§3.2).  Every transfer is also
+measured, so experiments can report communication volume alongside time
+(the paper's comparison points — e.g. the ``(nm)^2`` blow-up of two-party
+PSI generalisations — are communication arguments).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+
+class Role(enum.Enum):
+    """Entity roles in the Prism architecture (§3.2)."""
+
+    OWNER = "owner"
+    SERVER = "server"
+    INITIATOR = "initiator"
+    ANNOUNCER = "announcer"
+
+
+@dataclasses.dataclass(frozen=True)
+class Endpoint:
+    """A network endpoint: a role plus an index within that role."""
+
+    role: Role
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.role.value}{self.index}"
+
+
+def payload_nbytes(payload) -> int:
+    """Approximate wire size of a message payload in bytes.
+
+    numpy arrays count their buffer; Python ints count 8 bytes (the paper's
+    values are machine words); containers are summed recursively.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bool, float)):
+        return 8
+    if isinstance(payload, int):
+        return max(8, (payload.bit_length() + 7) // 8)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(v) for v in payload.values())
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(v) for v in payload)
+    return 8  # conservative default for opaque objects
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """One recorded transfer between two endpoints."""
+
+    sender: Endpoint
+    receiver: Endpoint
+    kind: str
+    nbytes: int

@@ -1,0 +1,105 @@
+"""In-process transport with structural enforcement of Prism's topology.
+
+The transport does not buffer: a transfer returns the payload to the
+orchestrator, which hands it to the receiving entity.  What it *does* do:
+
+* refuse server→server transfers — Prism's non-communicating-servers
+  assumption is a property of the code, not a comment;
+* record every transfer (sender, receiver, kind, bytes) for the
+  communication accounting reported by the benchmarks;
+* count protocol rounds via :meth:`begin_round`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ProtocolError
+from repro.network.message import Endpoint, Message, Role, payload_nbytes
+
+
+class TrafficStats:
+    """Aggregated traffic counters, grouped by (sender role, receiver role)."""
+
+    def __init__(self):
+        self.messages: list[Message] = []
+        self.rounds = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+    @property
+    def total_messages(self) -> int:
+        return len(self.messages)
+
+    def bytes_between(self, sender_role: Role, receiver_role: Role) -> int:
+        return sum(
+            m.nbytes for m in self.messages
+            if m.sender.role is sender_role and m.receiver.role is receiver_role
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Compact dict for experiment reports."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "owner_to_server_bytes": self.bytes_between(Role.OWNER, Role.SERVER),
+            "server_to_owner_bytes": self.bytes_between(Role.SERVER, Role.OWNER),
+            "server_to_announcer_bytes": self.bytes_between(
+                Role.SERVER, Role.ANNOUNCER),
+            "server_to_server_bytes": self.bytes_between(Role.SERVER, Role.SERVER),
+        }
+
+
+class LocalTransport:
+    """Simulated network joining all Prism entities in one process.
+
+    Args:
+        serialize: round-trip every payload through the binary wire codec
+            (:mod:`repro.network.codec`).  Slower, but byte counts become
+            true wire sizes and any non-serialisable payload fails fast —
+            useful for conformance tests and for splitting entities across
+            processes later.
+    """
+
+    def __init__(self, serialize: bool = False):
+        self.stats = TrafficStats()
+        self.serialize = serialize
+
+    def begin_round(self, label: str = "") -> None:
+        """Mark the start of a communication round (for round counting)."""
+        del label  # retained for future tracing; rounds are just counted
+        self.stats.rounds += 1
+
+    def transfer(self, sender: Endpoint, receiver: Endpoint, kind: str, payload):
+        """Move ``payload`` from ``sender`` to ``receiver``.
+
+        Raises:
+            ProtocolError: on a server→server transfer, which Prism forbids.
+        """
+        if sender.role is Role.SERVER and receiver.role is Role.SERVER:
+            raise ProtocolError(
+                f"servers must not communicate: {sender} -> {receiver} "
+                f"(kind={kind!r})"
+            )
+        if self.serialize:
+            from repro.network.codec import decode, encode
+            blob = encode(payload)
+            self.stats.messages.append(Message(sender, receiver, kind,
+                                               len(blob)))
+            return decode(blob)
+        self.stats.messages.append(
+            Message(sender, receiver, kind, payload_nbytes(payload))
+        )
+        return payload
+
+    def broadcast(self, sender: Endpoint, receivers: list[Endpoint], kind: str,
+                  payload):
+        """Record one transfer per receiver; returns the payload unchanged."""
+        for receiver in receivers:
+            self.transfer(sender, receiver, kind, payload)
+        return payload
+
+    def reset(self) -> None:
+        """Clear all counters (used between benchmark iterations)."""
+        self.stats = TrafficStats()

@@ -1,0 +1,129 @@
+"""Unit and property tests for additive secret sharing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.additive import (
+    AdditiveSharing,
+    reconstruct_bigint,
+    share_bigint,
+)
+from repro.crypto.prg import SeededPRG
+from repro.exceptions import ShareError
+
+
+@pytest.fixture()
+def scheme():
+    return AdditiveSharing(113, num_shares=2, rng=np.random.default_rng(0))
+
+
+class TestRoundTrip:
+    def test_vector_roundtrip(self, scheme):
+        secrets = np.asarray([0, 1, 57, 112, 5], dtype=np.int64)
+        shares = scheme.share_vector(secrets)
+        assert len(shares) == 2
+        assert np.array_equal(scheme.reconstruct_vector(shares), secrets)
+
+    def test_scalar_roundtrip(self, scheme):
+        for secret in (0, 1, 56, 112):
+            shares = scheme.share_scalar(secret)
+            assert scheme.reconstruct_scalar(shares) == secret
+
+    def test_many_shares(self):
+        scheme = AdditiveSharing(101, num_shares=5,
+                                 rng=np.random.default_rng(1))
+        secrets = np.arange(50, dtype=np.int64)
+        shares = scheme.share_vector(secrets)
+        assert len(shares) == 5
+        assert np.array_equal(scheme.reconstruct_vector(shares), secrets)
+
+    def test_out_of_range_secrets_reduced(self, scheme):
+        secrets = np.asarray([-1, 113, 226], dtype=np.int64)
+        shares = scheme.share_vector(secrets)
+        assert np.array_equal(scheme.reconstruct_vector(shares),
+                              np.asarray([112, 0, 0]))
+
+    @given(st.lists(st.integers(0, 112), min_size=1, max_size=40),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, secrets, seed):
+        scheme = AdditiveSharing(113, rng=np.random.default_rng(seed))
+        arr = np.asarray(secrets, dtype=np.int64)
+        assert np.array_equal(
+            scheme.reconstruct_vector(scheme.share_vector(arr)), arr)
+
+
+class TestHomomorphism:
+    @given(st.integers(0, 112), st.integers(0, 112), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_additive_homomorphism(self, x, y, seed):
+        scheme = AdditiveSharing(113, rng=np.random.default_rng(seed))
+        sx = scheme.share_vector(np.asarray([x]))
+        sy = scheme.share_vector(np.asarray([y]))
+        combined = [scheme.add_shares(a, b) for a, b in zip(sx, sy)]
+        assert scheme.reconstruct_vector(combined)[0] == (x + y) % 113
+
+    def test_subtractive_homomorphism(self, scheme):
+        sx = scheme.share_vector(np.asarray([50]))
+        sy = scheme.share_vector(np.asarray([70]))
+        combined = [scheme.sub_shares(a, b) for a, b in zip(sx, sy)]
+        assert scheme.reconstruct_vector(combined)[0] == (50 - 70) % 113
+
+
+class TestSecrecy:
+    def test_single_share_is_uniformish(self):
+        # Share 1 of a constant secret should span the group, not leak it.
+        scheme = AdditiveSharing(13, rng=np.random.default_rng(7))
+        ones = np.ones(5000, dtype=np.int64)
+        first = scheme.share_vector(ones)[0]
+        counts = np.bincount(first, minlength=13)
+        assert counts.min() > 0
+        assert counts.max() < 3 * counts.min()
+
+
+class TestValidation:
+    def test_modulus_too_small(self):
+        with pytest.raises(ShareError):
+            AdditiveSharing(1)
+
+    def test_too_few_shares(self):
+        with pytest.raises(ShareError):
+            AdditiveSharing(13, num_shares=1)
+
+    def test_reconstruct_wrong_count(self, scheme):
+        shares = scheme.share_vector(np.asarray([5]))
+        with pytest.raises(ShareError):
+            scheme.reconstruct_vector(shares[:1])
+        with pytest.raises(ShareError):
+            scheme.reconstruct_scalar([1])
+
+
+class TestBigInt:
+    def test_roundtrip_large_modulus(self):
+        prg = SeededPRG(1)
+        modulus = 2**200 + 357  # need not be prime for additive sharing
+        secret = 2**150 + 12345
+        shares = share_bigint(secret, modulus, 2, prg)
+        assert reconstruct_bigint(shares, modulus) == secret
+
+    @given(st.integers(0, 2**128), st.integers(2, 6), st.integers(0, 2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, secret, num_shares, seed):
+        prg = SeededPRG(seed)
+        modulus = 2**130
+        shares = share_bigint(secret, modulus, num_shares, prg)
+        assert len(shares) == num_shares
+        assert reconstruct_bigint(shares, modulus) == secret % modulus
+
+    def test_bad_modulus(self):
+        with pytest.raises(ShareError):
+            share_bigint(5, 1, 2, SeededPRG(0))
+
+    def test_bad_share_count(self):
+        with pytest.raises(ShareError):
+            share_bigint(5, 100, 1, SeededPRG(0))
+
+    def test_empty_reconstruct(self):
+        with pytest.raises(ShareError):
+            reconstruct_bigint([], 100)

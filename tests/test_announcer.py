@@ -1,0 +1,85 @@
+"""Unit tests for the announcer (§6.3–6.4)."""
+
+import pytest
+
+from repro.core.params import AnnouncerParams
+from repro.crypto.additive import share_bigint
+from repro.crypto.prg import SeededPRG
+from repro.entities.announcer import Announcer
+from repro.exceptions import ProtocolError
+
+Q = 1_000_003  # a prime comfortably above the test values
+
+
+@pytest.fixture()
+def announcer():
+    return Announcer(AnnouncerParams(extrema_modulus=Q), seed=4)
+
+
+def shared(values, seed=0):
+    """Split each value into two additive share lists."""
+    prg = SeededPRG(seed)
+    s1, s2 = [], []
+    for v in values:
+        a, b = share_bigint(v, Q, 2, prg)
+        s1.append(a)
+        s2.append(b)
+    return s1, s2
+
+
+def reconstruct(pair):
+    return (pair[0] + pair[1]) % Q
+
+
+class TestMax:
+    def test_finds_max_and_index(self, announcer):
+        s1, s2 = shared([170, 4682, 1771])
+        out = announcer.announce_max(s1, s2)
+        assert reconstruct(out["value"]) == 4682
+        assert reconstruct(out["index"]) == 1
+
+    def test_paper_example_631(self, announcer):
+        # The announcer sees <4682, 5000, 1771> and reports 5000 at slot 1.
+        s1, s2 = shared([4682, 5000, 1771])
+        out = announcer.announce_max(s1, s2)
+        assert reconstruct(out["value"]) == 5000
+        assert reconstruct(out["index"]) == 1
+
+    def test_shares_are_not_cleartext(self, announcer):
+        s1, s2 = shared([10, 20])
+        out = announcer.announce_max(s1, s2)
+        # The two returned shares should differ from the value itself
+        # (overwhelmingly likely given a fresh PRG).
+        assert out["value"][0] != 20 or out["value"][1] != 0
+
+
+class TestMin:
+    def test_finds_min(self, announcer):
+        s1, s2 = shared([170, 4682, 42, 1771])
+        out = announcer.announce_min(s1, s2)
+        assert reconstruct(out["value"]) == 42
+        assert reconstruct(out["index"]) == 2
+
+
+class TestMedian:
+    def test_odd_count(self, announcer):
+        s1, s2 = shared([30, 10, 20])
+        out = announcer.announce_median(s1, s2)
+        assert reconstruct(out["low"]) == 20
+        assert out["high"] is None
+
+    def test_even_count(self, announcer):
+        s1, s2 = shared([40, 10, 30, 20])
+        out = announcer.announce_median(s1, s2)
+        assert reconstruct(out["low"]) == 20
+        assert reconstruct(out["high"]) == 30
+
+    def test_empty_rejected(self, announcer):
+        with pytest.raises(ProtocolError):
+            announcer.announce_median([], [])
+
+
+class TestValidation:
+    def test_length_mismatch(self, announcer):
+        with pytest.raises(ProtocolError):
+            announcer.announce_max([1, 2], [3])

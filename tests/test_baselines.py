@@ -1,0 +1,243 @@
+"""Tests for the Table 13 baseline implementations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bloom import BloomFilter, bloom_psi
+from repro.baselines.freedman import (
+    FreedmanPSI,
+    multiparty_intersect,
+    polynomial_from_roots,
+)
+from repro.baselines.naive import (
+    plaintext_intersection,
+    plaintext_psi_sum,
+    plaintext_union,
+)
+from repro.baselines.paillier import generate_keypair
+from repro.data.relation import Relation
+from repro.exceptions import ParameterError
+
+
+class TestPaillier:
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return generate_keypair(96, seed=5)
+
+    def test_roundtrip(self, keys):
+        pub, priv = keys
+        for m in (0, 1, 12345, pub.n - 1):
+            assert priv.decrypt(pub.encrypt(m)) == m
+
+    def test_probabilistic_encryption(self, keys):
+        pub, _ = keys
+        assert pub.encrypt(7) != pub.encrypt(7)
+
+    @given(st.integers(0, 2**40), st.integers(0, 2**40))
+    @settings(max_examples=25, deadline=None)
+    def test_additive_homomorphism(self, a, b):
+        pub, priv = generate_keypair(96, seed=6)
+        c = pub.add(pub.encrypt(a), pub.encrypt(b))
+        assert priv.decrypt(c) == (a + b) % pub.n
+
+    @given(st.integers(0, 2**30), st.integers(0, 2**10))
+    @settings(max_examples=25, deadline=None)
+    def test_scalar_multiplication(self, m, k):
+        pub, priv = generate_keypair(96, seed=7)
+        c = pub.mul_plain(pub.encrypt(m), k)
+        assert priv.decrypt(c) == (m * k) % pub.n
+
+    def test_add_plain(self, keys):
+        pub, priv = keys
+        assert priv.decrypt(pub.add_plain(pub.encrypt(10), 32)) == 42
+
+    def test_ciphertext_range_check(self, keys):
+        pub, priv = keys
+        from repro.exceptions import ShareError
+        with pytest.raises(ShareError):
+            priv.decrypt(0)
+
+    def test_mismatched_factors_rejected(self):
+        from repro.baselines.paillier import (
+            PaillierPrivateKey, PaillierPublicKey)
+        pub = PaillierPublicKey(15)
+        with pytest.raises(ParameterError):
+            PaillierPrivateKey(pub, 3, 7)
+
+
+class TestPolynomialFromRoots:
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_roots_evaluate_to_zero(self, roots):
+        p = 2_147_483_647
+        coeffs = polynomial_from_roots(roots, p)
+        assert len(coeffs) == len(roots) + 1
+        for r in roots:
+            value = sum(c * pow(r, i, p) for i, c in enumerate(coeffs)) % p
+            assert value == 0
+
+    def test_non_roots_nonzero(self):
+        p = 2_147_483_647
+        coeffs = polynomial_from_roots([1, 2, 3], p)
+        value = sum(c * pow(9, i, p) for i, c in enumerate(coeffs)) % p
+        assert value != 0
+
+
+class TestFreedman:
+    def test_two_party_intersection(self):
+        psi = FreedmanPSI(key_bits=96, seed=1)
+        assert psi.intersect([1, 5, 9, 12], [5, 9, 40]) == {5, 9}
+
+    def test_disjoint(self):
+        psi = FreedmanPSI(key_bits=96, seed=2)
+        assert psi.intersect([1, 2], [3, 4]) == set()
+
+    def test_identical(self):
+        psi = FreedmanPSI(key_bits=96, seed=3)
+        assert psi.intersect([7, 8], [7, 8]) == {7, 8}
+
+    def test_empty_client_rejected(self):
+        psi = FreedmanPSI(key_bits=96, seed=4)
+        with pytest.raises(ParameterError):
+            psi.client_encrypt_polynomial([])
+
+    @given(st.sets(st.integers(1, 60), min_size=1, max_size=8),
+           st.sets(st.integers(1, 60), min_size=1, max_size=8))
+    @settings(max_examples=15, deadline=None)
+    def test_oracle_property(self, x, y):
+        psi = FreedmanPSI(key_bits=96, seed=9)
+        assert psi.intersect(sorted(x), sorted(y)) == (x & y)
+
+    def test_multiparty(self):
+        sets = [[1, 2, 3, 9], [2, 3, 9, 11], [3, 9, 20]]
+        assert multiparty_intersect(sets, key_bits=96) == {3, 9}
+
+    def test_multiparty_early_exit(self):
+        sets = [[1], [2], [3]]
+        assert multiparty_intersect(sets, key_bits=96) == set()
+
+    def test_multiparty_needs_two(self):
+        with pytest.raises(ParameterError):
+            multiparty_intersect([[1]])
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        f = BloomFilter.for_capacity(100, seed=2)
+        f.add_all(range(100))
+        for v in range(100):
+            assert v in f
+
+    def test_sizing(self):
+        f = BloomFilter.for_capacity(1000, false_positive_rate=1e-3)
+        assert f.num_bits > 10_000
+        assert f.num_hashes >= 5
+
+    def test_psi_matches_exact_at_low_fp(self):
+        sets = [list(range(1, 200)), list(range(100, 300)),
+                list(range(150, 250))]
+        assert bloom_psi(sets, false_positive_rate=1e-9) == set(range(150, 200))
+
+    def test_intersect_with_incompatible(self):
+        a = BloomFilter(64, 3, seed=1)
+        b = BloomFilter(64, 3, seed=2)
+        with pytest.raises(ParameterError):
+            a.intersect_with(b)
+
+    def test_fill_ratio(self):
+        f = BloomFilter(64, 2, seed=0)
+        assert f.fill_ratio == 0.0
+        f.add(1)
+        assert f.fill_ratio > 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BloomFilter(4, 1)
+        with pytest.raises(ParameterError):
+            BloomFilter(64, 0)
+        with pytest.raises(ParameterError):
+            BloomFilter.for_capacity(10, false_positive_rate=2.0)
+        with pytest.raises(ParameterError):
+            bloom_psi([[1]])
+
+
+class TestNaive:
+    def test_intersection(self):
+        assert plaintext_intersection([[1, 2], [2, 3]]) == {2}
+
+    def test_union(self):
+        assert plaintext_union([[1], [2]]) == {1, 2}
+
+    def test_psi_sum(self):
+        rels = [
+            Relation("a", {"k": ["x", "y"], "v": [1, 2]}),
+            Relation("b", {"k": ["x"], "v": [10]}),
+        ]
+        assert plaintext_psi_sum(rels, "k", "v") == {"x": 11}
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            plaintext_intersection([[1]])
+        with pytest.raises(ParameterError):
+            plaintext_union([[1]])
+
+    @given(st.lists(st.sets(st.integers(0, 30)), min_size=2, max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_with_python_sets(self, sets):
+        as_lists = [sorted(s) for s in sets]
+        expect_i = set(sets[0])
+        expect_u = set()
+        for s in sets:
+            expect_i &= s
+            expect_u |= s
+        assert plaintext_intersection(as_lists) == expect_i
+        assert plaintext_union(as_lists) == expect_u
+
+
+class TestDhPsi:
+    def test_two_party_intersection(self):
+        from repro.baselines.dh_psi import dh_psi
+        assert dh_psi([1, 2, 3, 9], [2, 9, 40]) == {2, 9}
+
+    def test_disjoint_and_empty(self):
+        from repro.baselines.dh_psi import dh_psi
+        assert dh_psi([1, 2], [3, 4]) == set()
+        assert dh_psi([], [1]) == set()
+        assert dh_psi([1], []) == set()
+
+    def test_strings_supported(self):
+        from repro.baselines.dh_psi import dh_psi
+        assert dh_psi(["a", "b"], ["b", "c"]) == {"b"}
+
+    @given(st.sets(st.integers(0, 200), max_size=20),
+           st.sets(st.integers(0, 200), max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_oracle_property(self, a, b):
+        from repro.baselines.dh_psi import dh_psi
+        assert dh_psi(sorted(a), sorted(b), seed=3) == (a & b)
+
+    def test_multiparty(self):
+        from repro.baselines.dh_psi import dh_multiparty
+        assert dh_multiparty([[1, 2, 3], [2, 3, 4], [3, 4, 5]]) == {3}
+
+    def test_multiparty_needs_two(self):
+        from repro.baselines.dh_psi import dh_multiparty
+        with pytest.raises(ParameterError):
+            dh_multiparty([[1]])
+
+    def test_bad_modulus_rejected(self):
+        from repro.baselines.dh_psi import DHPsiParty
+        with pytest.raises(ParameterError):
+            DHPsiParty(p=97)  # (97-1)/2 = 48 is not prime
+
+    def test_cardinality_mode_shuffles(self):
+        from repro.baselines.dh_psi import DHPsiParty
+        party = DHPsiParty(seed=1)
+        points = party.first_pass(range(40))
+        other = DHPsiParty(seed=2)
+        plain = other.second_pass(points)
+        shuffled = other.second_pass(points, shuffle=True)
+        assert sorted(plain) == sorted(shuffled)
+        assert plain != shuffled

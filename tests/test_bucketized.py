@@ -1,0 +1,152 @@
+"""Tests for bucketized PSI (§6.6): tree shape, equivalence, Fig. 5 model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Domain, PrismSystem, Relation
+from repro.core.bucketized import BucketTree, simulate_actual_domain_size
+from repro.exceptions import ParameterError
+
+
+def bucket_system(sets, domain_size=64, fanout=4, seed=0):
+    relations = [Relation(f"o{i}", {"A": sorted(s)})
+                 for i, s in enumerate(sets)]
+    domain = Domain.integer_range("A", domain_size)
+    system = PrismSystem.build(relations, domain, "A", seed=seed)
+    tree = system.outsource_bucketized("A", fanout=fanout)
+    return system, tree
+
+
+class TestBucketTree:
+    def test_level_sizes_example(self):
+        # The paper's Example 6.6.1: 16 leaves, fanout 4 -> levels 16, 4.
+        tree = BucketTree(16, 4)
+        assert tree.level_sizes == [16, 4]
+        assert tree.top_level == 1
+
+    def test_uneven_division(self):
+        tree = BucketTree(10, 3)
+        assert tree.level_sizes == [10, 4, 2]
+
+    def test_parent_level_or_semantics(self):
+        tree = BucketTree(8, 2)
+        leaf = np.asarray([1, 0, 0, 0, 0, 1, 1, 1])
+        assert tree.parent_level(leaf).tolist() == [1, 0, 1, 1]
+
+    def test_all_levels_example_661(self):
+        # DB1 has ones at leaf positions 4, 7, 8 (1-indexed) of 16:
+        # level-2 table must be <1, 1, 0, 0>.
+        tree = BucketTree(16, 4)
+        leaf = np.zeros(16, dtype=np.int64)
+        leaf[[3, 6, 7]] = 1
+        levels = tree.all_levels(leaf)
+        assert levels[1].tolist() == [1, 1, 0, 0]
+
+    def test_children_of(self):
+        tree = BucketTree(16, 4)
+        kids = tree.children_of(1, np.asarray([0, 1]))
+        assert kids.tolist() == [0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_children_clipped_at_boundary(self):
+        tree = BucketTree(10, 3)
+        kids = tree.children_of(1, np.asarray([3]))
+        assert kids.tolist() == [9]
+
+    def test_length_mismatch_rejected(self):
+        tree = BucketTree(8, 2)
+        with pytest.raises(ParameterError):
+            tree.all_levels(np.zeros(9, dtype=np.int64))
+
+    def test_bad_fanout(self):
+        with pytest.raises(ParameterError):
+            BucketTree(8, 1)
+
+    def test_bad_leaves(self):
+        with pytest.raises(ParameterError):
+            BucketTree(0, 2)
+
+
+class TestBucketizedPsiEquivalence:
+    def test_matches_flat_psi(self):
+        sets = [{4, 7, 8, 30, 55}, {1, 7, 8, 30, 60}]
+        system, _ = bucket_system(sets)
+        flat = set(system.psi("A").values)
+        result, stats = system.bucketized_psi("A")
+        assert set(result.values) == flat == {7, 8, 30}
+        assert stats["rounds"] >= 2
+
+    def test_empty_intersection_prunes_early(self):
+        sets = [{1, 2, 3}, {60, 61, 62}]
+        system, _ = bucket_system(sets)
+        result, stats = system.bucketized_psi("A")
+        assert result.values == []
+        # Sparse disjoint data must not descend to every leaf.
+        assert stats["actual_domain_size"] < 64
+
+    def test_dense_data_overhead(self):
+        # Fully-dense data: bucketization examines more nodes than flat PSI
+        # (the paper's open-problem observation).
+        full = set(range(1, 65))
+        system, _ = bucket_system([full, full])
+        _, stats = system.bucketized_psi("A")
+        assert stats["actual_domain_size"] > stats["flat_domain_size"]
+
+    def test_sparse_data_savings(self):
+        sets = [{5}, {5}]
+        system, _ = bucket_system(sets, domain_size=256, fanout=4)
+        result, stats = system.bucketized_psi("A")
+        assert result.values == [5]
+        assert stats["actual_domain_size"] < 256 // 4
+
+    @given(st.sets(st.integers(1, 64), max_size=12),
+           st.sets(st.integers(1, 64), max_size=12),
+           st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_property(self, s1, s2, seed):
+        system, _ = bucket_system([s1, s2], seed=seed)
+        result, _ = system.bucketized_psi("A")
+        assert set(result.values) == (s1 & s2)
+
+    def test_paper_example_661_numbers(self):
+        # DB1 ones at 4,7,8; DB2 ones at 1,6,8 (1-indexed, 16 leaves, k=4):
+        # the paper sends 4 + 8 = 12 numbers instead of 16.
+        sets = [{4, 7, 8}, {1, 6, 8}]
+        system, _ = bucket_system(sets, domain_size=16, fanout=4)
+        result, stats = system.bucketized_psi("A")
+        assert result.values == [8]
+        assert stats["actual_domain_size"] == 12
+        assert stats["flat_domain_size"] == 16
+
+    def test_requires_outsourcing_first(self):
+        relations = [Relation("a", {"A": [1]}), Relation("b", {"A": [1]})]
+        system = PrismSystem.build(relations,
+                                   Domain.integer_range("A", 8), "A")
+        with pytest.raises(ParameterError):
+            system.bucketized_psi("A")
+
+
+class TestFigure5Model:
+    def test_full_fill_examines_whole_tree(self):
+        # 100% fill: actual domain size ~ sum of all level sizes.
+        actual = simulate_actual_domain_size(10_000, 10, 1.0)
+        assert actual == 10 + 10 * (10 + 100 + 1000)  # 11110
+
+    def test_monotone_in_fill_factor(self):
+        sizes = [simulate_actual_domain_size(100_000, 10, ff, seed=1)
+                 for ff in (1.0, 0.1, 0.01, 0.001)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_sparse_fill_collapses(self):
+        dense = simulate_actual_domain_size(100_000, 10, 1.0)
+        sparse = simulate_actual_domain_size(100_000, 10, 0.0001, seed=2)
+        assert sparse < dense / 50
+
+    def test_zero_fill(self):
+        # Nothing common: only the top level is ever examined.
+        actual = simulate_actual_domain_size(10_000, 10, 0.0)
+        assert actual == 10
+
+    def test_invalid_fill_rejected(self):
+        with pytest.raises(ParameterError):
+            simulate_actual_domain_size(100, 10, 1.5)

@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy and error ergonomics."""
+
+import pytest
+
+from repro.exceptions import (
+    DomainError,
+    ParameterError,
+    PrismError,
+    ProtocolError,
+    QueryError,
+    ShareError,
+    VerificationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ParameterError, ShareError, ProtocolError, VerificationError,
+        DomainError, QueryError,
+    ])
+    def test_all_derive_from_prism_error(self, exc):
+        assert issubclass(exc, PrismError)
+        with pytest.raises(PrismError):
+            raise exc("boom")
+
+    def test_single_catch_covers_library(self):
+        caught = []
+        for exc in (ParameterError, VerificationError, QueryError):
+            try:
+                raise exc("x")
+            except PrismError as e:
+                caught.append(type(e))
+        assert caught == [ParameterError, VerificationError, QueryError]
+
+
+class TestVerificationErrorPayload:
+    def test_failed_cells_recorded(self):
+        err = VerificationError("bad", failed_cells=[3, 7])
+        assert err.failed_cells == [3, 7]
+        assert "bad" in str(err)
+
+    def test_failed_cells_optional(self):
+        assert VerificationError("bad").failed_cells is None
+
+    def test_failed_cells_copied_to_list(self):
+        err = VerificationError("bad", failed_cells=(1, 2))
+        assert err.failed_cells == [1, 2]
+        assert isinstance(err.failed_cells, list)

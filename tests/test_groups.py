@@ -1,0 +1,120 @@
+"""Unit tests for repro.crypto.groups (cyclic subgroups, power tables)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.groups import (
+    CyclicGroup,
+    element_order,
+    find_primitive_root,
+    find_subgroup_generator,
+    subgroup_elements,
+)
+from repro.exceptions import ParameterError
+
+
+class TestElementOrder:
+    def test_known_orders_mod_11(self):
+        # ord(2) = 10 (primitive root), ord(3) = 5, ord(10) = 2.
+        assert element_order(2, 11, 10) == 10
+        assert element_order(3, 11, 10) == 5
+        assert element_order(10, 11, 10) == 2
+
+    def test_identity(self):
+        assert element_order(1, 11, 10) == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            element_order(11, 11, 10)
+
+
+class TestPrimitiveRoot:
+    @pytest.mark.parametrize("p,root", [(11, 2), (227, 2), (7, 3), (23, 5)])
+    def test_known_roots(self, p, root):
+        assert find_primitive_root(p) == root
+
+    def test_root_has_full_order(self):
+        for p in (13, 101, 227):
+            g = find_primitive_root(p)
+            assert element_order(g, p, p - 1) == p - 1
+
+    def test_composite_rejected(self):
+        with pytest.raises(ParameterError):
+            find_primitive_root(15)
+
+
+class TestSubgroupGenerator:
+    def test_order_is_delta(self):
+        g = find_subgroup_generator(227, 113)
+        assert pow(g, 113, 227) == 1
+        assert element_order(g, 227, 226) == 113
+
+    def test_paper_small_example(self):
+        # delta=5, eta=11: the subgroup is {1, 3, 4, 5, 9} (paper §5.1).
+        g = find_subgroup_generator(11, 5)
+        assert sorted(subgroup_elements(g, 5, 11)) == [1, 3, 4, 5, 9]
+
+    def test_non_divisor_rejected(self):
+        with pytest.raises(ParameterError):
+            find_subgroup_generator(11, 7)
+
+    def test_composite_delta_rejected(self):
+        with pytest.raises(ParameterError):
+            find_subgroup_generator(13, 4)
+
+
+class TestCyclicGroup:
+    def test_power_table_matches_pow(self):
+        group = CyclicGroup(5, 11, alpha=13)
+        for k in range(5):
+            assert group.pow(k) == pow(group.g, k, 143)
+
+    def test_pow_vector(self):
+        group = CyclicGroup(113, 227, alpha=13)
+        exps = np.arange(300, dtype=np.int64)
+        out = group.pow_vector(exps)
+        expect = np.asarray([pow(group.g, int(e) % 113, group.eta_prime)
+                             for e in exps])
+        assert np.array_equal(out, expect)
+
+    def test_modular_identity_eta_prime_to_eta(self):
+        # (x mod alpha*eta) mod eta == x mod eta — the Eq. 4 correctness core.
+        group = CyclicGroup(113, 227, alpha=13)
+        for k in range(113):
+            via_prime = group.pow(k) % group.eta
+            assert via_prime == pow(group.g, k, group.eta)
+
+    def test_reduce_to_eta(self):
+        group = CyclicGroup(5, 11, alpha=13)
+        arr = np.asarray([142, 11, 12], dtype=np.int64)
+        assert np.array_equal(group.reduce_to_eta(arr), arr % 11)
+        assert group.reduce_to_eta(142) == 142 % 11
+
+    def test_elements_form_subgroup(self):
+        group = CyclicGroup(5, 11, alpha=2)
+        elements = set(group.elements())
+        assert len(elements) == 5
+        for a in elements:
+            for b in elements:
+                assert (a * b) % 11 in elements
+
+    def test_power_table_read_only(self):
+        group = CyclicGroup(5, 11, alpha=13)
+        with pytest.raises(ValueError):
+            group.power_table[0] = 99
+
+    def test_alpha_one_rejected(self):
+        with pytest.raises(ParameterError):
+            CyclicGroup(5, 11, alpha=1)
+
+    def test_bad_divisibility_rejected(self):
+        with pytest.raises(ParameterError):
+            CyclicGroup(7, 11, alpha=13)
+
+    def test_bad_generator_rejected(self):
+        with pytest.raises(ParameterError):
+            CyclicGroup(5, 11, alpha=13, g=2)  # ord(2) = 10, not 5
+
+    def test_eta_prime_overflow_guard(self):
+        with pytest.raises(ParameterError):
+            CyclicGroup(113, 227, alpha=2**60)

@@ -1,0 +1,117 @@
+"""Algebraic invariants across protocols, property-tested.
+
+These relations must hold for *any* data, tying the protocols to each
+other rather than to an oracle:
+
+* PSI ⊆ every owner's set ⊆ PSU
+* adding an owner can only shrink the intersection and grow the union
+* psi_count == |psi| and psu_count == |psu|
+* sum ≥ max ≥ min ≥ 1 on positive data; avg between min and max
+* median lies between the min and max of the per-owner totals
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Domain, PrismSystem, Relation
+
+DOMAIN = list(range(1, 21))
+
+set_strategy = st.sets(st.integers(1, 20), min_size=1, max_size=12)
+
+
+def build(sets, seed=0, with_values=False):
+    relations = []
+    rng = np.random.default_rng(seed + 1)
+    for i, s in enumerate(sets):
+        cols = {"k": sorted(s)}
+        if with_values:
+            cols["v"] = [int(x) for x in rng.integers(1, 50, size=len(s))]
+        relations.append(Relation(f"o{i}", cols))
+    return PrismSystem.build(relations, Domain("k", DOMAIN), "k",
+                             agg_attributes=("v",) if with_values else (),
+                             seed=seed)
+
+
+class TestSetAlgebra:
+    @given(st.lists(set_strategy, min_size=2, max_size=5),
+           st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_psi_subset_of_every_owner_subset_of_psu(self, sets, seed):
+        system = build(sets, seed)
+        psi = set(system.psi("k").values)
+        psu = set(system.psu("k").values)
+        for s in sets:
+            assert psi <= s
+        assert psi <= psu
+        for s in sets:
+            assert s <= psu
+
+    @given(st.lists(set_strategy, min_size=3, max_size=5),
+           st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_monotonicity_in_owner_count(self, sets, seed):
+        system = build(sets, seed)
+        all_ids = list(range(len(sets)))
+        psi_all = set(system.psi("k", owner_ids=all_ids).values)
+        psi_sub = set(system.psi("k", owner_ids=all_ids[:-1]).values)
+        psu_all = set(system.psu("k", owner_ids=all_ids).values)
+        psu_sub = set(system.psu("k", owner_ids=all_ids[:-1]).values)
+        assert psi_all <= psi_sub   # more owners, smaller intersection
+        assert psu_sub <= psu_all   # more owners, larger union
+
+    @given(st.lists(set_strategy, min_size=2, max_size=4),
+           st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_counts_agree_with_sets(self, sets, seed):
+        system = build(sets, seed)
+        assert system.psi_count("k").count == len(system.psi("k").values)
+        assert system.psu_count("k").count == len(system.psu("k").values)
+        assert system.psi_count("k").count <= system.psu_count("k").count
+
+
+class TestAggregateAlgebra:
+    @given(st.lists(set_strategy, min_size=2, max_size=4),
+           st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_sum_max_min_avg_consistency(self, sets, seed):
+        system = build(sets, seed, with_values=True)
+        common = system.psi("k").values
+        if not common:
+            return
+        sums = system.psi_sum("k", "v")["v"].per_value
+        avgs = system.psi_average("k", "v")["v"].per_value
+        maxima = system.psi_max("k", "v", reveal_holders=False,
+                                common_values=common).per_value
+        minima = system.psi_min("k", "v", reveal_holders=False,
+                                common_values=common).per_value
+        for value in common:
+            assert 1 <= minima[value] <= maxima[value] <= sums[value]
+            assert minima[value] <= avgs[value] <= maxima[value]
+
+    @given(st.lists(set_strategy, min_size=2, max_size=4),
+           st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_median_bounded_by_owner_totals(self, sets, seed):
+        system = build(sets, seed, with_values=True)
+        common = system.psi("k").values
+        if not common:
+            return
+        value = common[0]
+        medians = system.psi_median("k", "v", common_values=[value])
+        totals = [rel.group_by_sum("k", "v").get(value, 0)
+                  for rel in system.relations]
+        assert min(totals) <= medians[value] <= max(totals)
+
+    @given(st.lists(set_strategy, min_size=2, max_size=3),
+           st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_psu_sum_extends_psi_sum(self, sets, seed):
+        # On common values PSI-sum and PSU-sum agree; PSU covers more keys.
+        system = build(sets, seed, with_values=True)
+        psi_sums = system.psi_sum("k", "v")["v"].per_value
+        psu_sums = system.psu_sum("k", "v")["v"].per_value
+        for value, total in psi_sums.items():
+            assert psu_sums[value] == total
+        assert set(psi_sums) <= set(psu_sums)

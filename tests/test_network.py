@@ -1,0 +1,86 @@
+"""Unit tests for the transport: accounting and topology enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.network.message import Endpoint, Role, payload_nbytes
+from repro.network.transport import LocalTransport
+
+
+OWNER0 = Endpoint(Role.OWNER, 0)
+OWNER1 = Endpoint(Role.OWNER, 1)
+SERVER0 = Endpoint(Role.SERVER, 0)
+SERVER1 = Endpoint(Role.SERVER, 1)
+ANNOUNCER = Endpoint(Role.ANNOUNCER, 0)
+
+
+class TestPayloadSize:
+    def test_numpy(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.int64)) == 80
+
+    def test_scalars(self):
+        assert payload_nbytes(5) == 8
+        assert payload_nbytes(2**100) == 13
+        assert payload_nbytes(1.5) == 8
+        assert payload_nbytes(True) == 8
+        assert payload_nbytes(None) == 0
+
+    def test_containers(self):
+        assert payload_nbytes([1, 2, 3]) == 24
+        assert payload_nbytes({"a": 1, "b": [1, 2]}) == 24
+        assert payload_nbytes((np.zeros(2, dtype=np.int64), 1)) == 24
+
+    def test_strings_bytes(self):
+        assert payload_nbytes("abc") == 3
+        assert payload_nbytes(b"abcd") == 4
+
+
+class TestTransport:
+    def test_transfer_returns_payload(self):
+        t = LocalTransport()
+        payload = np.arange(4)
+        assert t.transfer(OWNER0, SERVER0, "x", payload) is payload
+
+    def test_server_to_server_forbidden(self):
+        t = LocalTransport()
+        with pytest.raises(ProtocolError):
+            t.transfer(SERVER0, SERVER1, "collude", [1, 2, 3])
+
+    def test_server_to_announcer_allowed(self):
+        t = LocalTransport()
+        t.transfer(SERVER0, ANNOUNCER, "extrema", [1])
+        assert t.stats.total_messages == 1
+
+    def test_accounting(self):
+        t = LocalTransport()
+        t.begin_round("r1")
+        t.transfer(OWNER0, SERVER0, "a", np.zeros(10, dtype=np.int64))
+        t.transfer(SERVER0, OWNER0, "b", np.zeros(5, dtype=np.int64))
+        summary = t.stats.summary()
+        assert summary["rounds"] == 1
+        assert summary["messages"] == 2
+        assert summary["owner_to_server_bytes"] == 80
+        assert summary["server_to_owner_bytes"] == 40
+        assert summary["server_to_server_bytes"] == 0
+
+    def test_broadcast_counts_per_receiver(self):
+        t = LocalTransport()
+        t.broadcast(SERVER0, [OWNER0, OWNER1], "out", np.zeros(3))
+        assert t.stats.total_messages == 2
+
+    def test_reset(self):
+        t = LocalTransport()
+        t.transfer(OWNER0, SERVER0, "a", [1])
+        t.reset()
+        assert t.stats.total_messages == 0
+        assert t.stats.rounds == 0
+
+    def test_bytes_between(self):
+        t = LocalTransport()
+        t.transfer(OWNER0, SERVER0, "a", np.zeros(2, dtype=np.int64))
+        assert t.stats.bytes_between(Role.OWNER, Role.SERVER) == 16
+        assert t.stats.bytes_between(Role.SERVER, Role.OWNER) == 0
+
+    def test_endpoint_str(self):
+        assert str(SERVER1) == "server1"

@@ -1,0 +1,109 @@
+"""Unit and property tests for the order-preserving polynomial F(x)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.polynomial import OrderPreservingPolynomial
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture()
+def paper_poly():
+    """F(x) = x^4 + x^3 + x^2 + x + 1 from Example 6.3.1."""
+    return OrderPreservingPolynomial([1, 1, 1, 1, 1])
+
+
+class TestEvaluation:
+    def test_paper_values(self, paper_poly):
+        # The paper computes F(6) = 1555 and F(8) = 4681.
+        assert paper_poly(6) == 1555
+        assert paper_poly(8) == 4681
+
+    def test_horner_matches_naive(self):
+        poly = OrderPreservingPolynomial([3, 1, 4, 1, 5])
+        for x in range(10):
+            naive = sum(c * x**i for i, c in enumerate(poly.coefficients))
+            assert poly(x) == naive
+
+    def test_degree(self, paper_poly):
+        assert paper_poly.degree == 4
+
+
+class TestOrderPreservation:
+    @given(st.integers(0, 10**6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_blinded_ordering(self, x, seed):
+        # F(x) + r < F(x+1) for any r below the blinding bound.
+        poly = OrderPreservingPolynomial.for_owner_count(5, seed=seed % 1000)
+        bound = poly.blinding_bound(x)
+        assert bound >= 1
+        assert poly(x) + (bound - 1) < poly(x + 1)
+
+    def test_strictly_increasing(self, paper_poly):
+        values = [paper_poly(x) for x in range(100)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_paper_blinding_is_safe(self, paper_poly):
+        # The paper adds r=216 to F(6); the result stays below F(7).
+        assert paper_poly(6) + 216 < paper_poly(7)
+
+    def test_negative_input_rejected(self, paper_poly):
+        with pytest.raises(ParameterError):
+            paper_poly.blinding_bound(-1)
+
+
+class TestInversion:
+    @given(st.integers(0, 10**5), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_invert_blinded_recovers_input(self, x, seed):
+        poly = OrderPreservingPolynomial.for_owner_count(4, seed=seed % 997)
+        import random
+        r = random.Random(seed).randrange(0, poly.blinding_bound(x))
+        assert poly.invert_blinded(poly(x) + r) == x
+
+    def test_invert_exact_values(self, paper_poly):
+        for x in (0, 1, 6, 8, 100):
+            assert paper_poly.invert_blinded(paper_poly(x)) == x
+
+    def test_paper_example_inversion(self, paper_poly):
+        # The announcer's max 5000 = F(8) + 319 must invert to 8.
+        assert paper_poly.invert_blinded(5000) == 8
+
+    def test_below_f0_rejected(self, paper_poly):
+        with pytest.raises(ParameterError):
+            paper_poly.invert_blinded(0)  # F(0) = 1
+
+    def test_hi_hint_does_not_change_result(self, paper_poly):
+        assert paper_poly.invert_blinded(5000, hi_hint=1000) == 8
+
+    def test_max_blinded_value_bound(self, paper_poly):
+        for x in range(20):
+            r = paper_poly.blinding_bound(x) - 1
+            assert paper_poly(x) + r < paper_poly.max_blinded_value(x)
+
+
+class TestConstruction:
+    def test_for_owner_count_degree(self):
+        for m in (1, 3, 10, 50):
+            poly = OrderPreservingPolynomial.for_owner_count(m, seed=1)
+            assert poly.degree == m + 1  # degree must exceed m
+
+    def test_for_owner_count_deterministic(self):
+        a = OrderPreservingPolynomial.for_owner_count(5, seed=9)
+        b = OrderPreservingPolynomial.for_owner_count(5, seed=9)
+        assert a.coefficients == b.coefficients
+
+    def test_zero_owner_rejected(self):
+        with pytest.raises(ParameterError):
+            OrderPreservingPolynomial.for_owner_count(0)
+
+    def test_degree_below_two_rejected(self):
+        with pytest.raises(ParameterError):
+            OrderPreservingPolynomial([1, 1])
+
+    def test_nonpositive_coefficients_rejected(self):
+        with pytest.raises(ParameterError):
+            OrderPreservingPolynomial([1, 0, 1])
+        with pytest.raises(ParameterError):
+            OrderPreservingPolynomial([1, -2, 1])

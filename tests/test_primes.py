@@ -1,0 +1,148 @@
+"""Unit and property tests for repro.crypto.primes."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.primes import (
+    egcd,
+    factorize,
+    find_eta_for_delta,
+    is_prime,
+    modinv,
+    next_prime,
+    prev_prime,
+    random_prime,
+)
+from repro.exceptions import ParameterError
+
+
+def _sieve(limit):
+    flags = [True] * limit
+    flags[0] = flags[1] = False
+    for i in range(2, int(limit ** 0.5) + 1):
+        if flags[i]:
+            for j in range(i * i, limit, i):
+                flags[j] = False
+    return {i for i, f in enumerate(flags) if f}
+
+
+class TestIsPrime:
+    def test_matches_sieve_below_2000(self):
+        sieve = _sieve(2000)
+        for n in range(2000):
+            assert is_prime(n) == (n in sieve), n
+
+    def test_negative_and_small(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+        assert is_prime(2)
+
+    def test_known_large_prime(self):
+        assert is_prime(2_147_483_647)  # Mersenne 2^31 - 1
+
+    def test_known_large_composite(self):
+        assert not is_prime(2_147_483_647 * 2_147_483_629)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+            assert not is_prime(n), n
+
+    def test_beyond_deterministic_range_uses_random_rounds(self):
+        # 2^89 - 1 is a Mersenne prime; its square is composite.
+        p = 2 ** 89 - 1
+        assert is_prime(p)
+        assert not is_prime(p * p)
+
+
+class TestPrimeSearch:
+    @pytest.mark.parametrize("n,expected", [
+        (0, 2), (1, 2), (2, 3), (3, 5), (10, 11), (100, 101), (113, 127),
+    ])
+    def test_next_prime(self, n, expected):
+        assert next_prime(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [
+        (3, 2), (10, 7), (100, 97), (128, 127),
+    ])
+    def test_prev_prime(self, n, expected):
+        assert prev_prime(n) == expected
+
+    def test_prev_prime_below_two_raises(self):
+        with pytest.raises(ParameterError):
+            prev_prime(2)
+
+    def test_random_prime_bits_and_primality(self):
+        rng = random.Random(42)
+        for bits in (8, 16, 32, 64):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+
+    def test_random_prime_too_few_bits(self):
+        with pytest.raises(ParameterError):
+            random_prime(1, random.Random(0))
+
+
+class TestEtaSearch:
+    @pytest.mark.parametrize("delta", [5, 113, 101, 499])
+    def test_divisibility_and_primality(self, delta):
+        eta = find_eta_for_delta(delta)
+        assert is_prime(eta)
+        assert (eta - 1) % delta == 0
+
+    def test_paper_example(self):
+        # delta=113 admits eta=227 (227 - 1 = 2 * 113), the paper's setting.
+        assert find_eta_for_delta(113) == 227
+
+    def test_minimum_respected(self):
+        eta = find_eta_for_delta(113, minimum=1000)
+        assert eta > 1000
+        assert (eta - 1) % 113 == 0
+
+    def test_composite_delta_rejected(self):
+        with pytest.raises(ParameterError):
+            find_eta_for_delta(12)
+
+
+class TestModularArithmetic:
+    def test_egcd_identity(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == g
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**6))
+    def test_egcd_property(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+    @given(st.integers(1, 10**9))
+    def test_modinv_property(self, a):
+        p = 2_147_483_647
+        if a % p == 0:
+            return
+        inv = modinv(a, p)
+        assert (a * inv) % p == 1
+
+    def test_modinv_no_inverse(self):
+        with pytest.raises(ParameterError):
+            modinv(6, 12)
+
+    @given(st.integers(2, 10**6))
+    def test_factorize_product(self, n):
+        factors = factorize(n)
+        product = 1
+        for p, e in factors.items():
+            assert is_prime(p)
+            product *= p ** e
+        assert product == n
+
+    def test_factorize_one(self):
+        assert factorize(1) == {}
+
+    def test_factorize_nonpositive(self):
+        with pytest.raises(ParameterError):
+            factorize(0)

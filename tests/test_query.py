@@ -1,0 +1,138 @@
+"""Tests for the SQL dialect (Table 4 statement shapes)."""
+
+import pytest
+
+from repro import QueryError, parse_query, run_query
+from repro.core.query import QueryPlan
+
+
+PSI_SQL = ("SELECT disease FROM h1 INTERSECT SELECT disease FROM h2 "
+           "INTERSECT SELECT disease FROM h3")
+PSU_SQL = ("SELECT disease FROM h1 UNION SELECT disease FROM h2 "
+           "UNION SELECT disease FROM h3")
+
+
+class TestParsing:
+    def test_psi(self):
+        plan = parse_query(PSI_SQL)
+        assert plan.set_op == "psi"
+        assert plan.attribute == "disease"
+        assert plan.aggregate is None
+        assert plan.tables == ("h1", "h2", "h3")
+
+    def test_psu(self):
+        plan = parse_query(PSU_SQL)
+        assert plan.set_op == "psu"
+        assert plan.aggregate is None
+
+    def test_count(self):
+        plan = parse_query(
+            "SELECT COUNT(disease) FROM a INTERSECT SELECT COUNT(disease) FROM b")
+        assert plan.aggregate == ("COUNT", "disease")
+
+    @pytest.mark.parametrize("fn", ["SUM", "AVG", "MAX", "MIN", "MEDIAN"])
+    def test_aggregates(self, fn):
+        sql = (f"SELECT disease, {fn}(cost) FROM a INTERSECT "
+               f"SELECT disease, {fn}(cost) FROM b")
+        plan = parse_query(sql)
+        assert plan.attribute == "disease"
+        assert plan.aggregate == (fn, "cost")
+
+    def test_case_insensitive_keywords(self):
+        plan = parse_query("select disease from a intersect "
+                           "select disease from b")
+        assert plan.set_op == "psi"
+        assert plan.attribute == "disease"
+
+    def test_verify_suffix(self):
+        plan = parse_query(PSI_SQL + " VERIFY")
+        assert plan.verify
+
+    def test_trailing_semicolon(self):
+        assert parse_query(PSI_SQL + ";").set_op == "psi"
+
+    def test_describe(self):
+        assert "PSI" in parse_query(PSI_SQL).describe()
+        sql = ("SELECT disease, SUM(cost) FROM a INTERSECT "
+               "SELECT disease, SUM(cost) FROM b VERIFY")
+        description = parse_query(sql).describe()
+        assert "Sum" in description and "verification" in description
+
+
+class TestParseErrors:
+    def test_no_set_operator(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT a FROM t")
+
+    def test_mixed_operators(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT a FROM x INTERSECT SELECT a FROM y "
+                        "UNION SELECT a FROM z")
+
+    def test_inconsistent_projection(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT a FROM x INTERSECT SELECT b FROM y")
+
+    def test_malformed_branch(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT a WHERE x INTERSECT SELECT a FROM y")
+
+    def test_lone_non_count_aggregate(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT SUM(a) FROM x INTERSECT SELECT SUM(a) FROM y")
+
+    def test_median_over_union_rejected_at_execute(self, hospital_system):
+        sql = ("SELECT disease, MEDIAN(cost) FROM a UNION "
+               "SELECT disease, MEDIAN(cost) FROM b")
+        plan = parse_query(sql)
+        with pytest.raises(QueryError):
+            plan.execute(hospital_system)
+
+    def test_three_projection_items(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT a, b, SUM(c) FROM x INTERSECT "
+                        "SELECT a, b, SUM(c) FROM y")
+
+
+class TestExecution:
+    def test_psi_matches_api(self, hospital_system):
+        assert run_query(hospital_system, PSI_SQL).values == ["Cancer"]
+
+    def test_psu(self, hospital_system):
+        assert sorted(run_query(hospital_system, PSU_SQL).values) == [
+            "Cancer", "Fever", "Heart"]
+
+    def test_count(self, hospital_system):
+        sql = ("SELECT COUNT(disease) FROM h1 INTERSECT "
+               "SELECT COUNT(disease) FROM h2")
+        assert run_query(hospital_system, sql).count == 1
+
+    def test_sum(self, hospital_system):
+        sql = ("SELECT disease, SUM(cost) FROM h1 INTERSECT "
+               "SELECT disease, SUM(cost) FROM h2")
+        assert run_query(hospital_system, sql).per_value == {"Cancer": 1400}
+
+    def test_avg_over_union(self, hospital_system):
+        sql = ("SELECT disease, AVG(cost) FROM h1 UNION "
+               "SELECT disease, AVG(cost) FROM h2")
+        result = run_query(hospital_system, sql)
+        assert result.per_value["Fever"] == pytest.approx(60.0)
+
+    def test_max(self, hospital_system):
+        sql = ("SELECT disease, MAX(age) FROM h1 INTERSECT "
+               "SELECT disease, MAX(age) FROM h2")
+        assert run_query(hospital_system, sql).per_value == {"Cancer": 8}
+
+    def test_median(self, hospital_system):
+        sql = ("SELECT disease, MEDIAN(cost) FROM h1 INTERSECT "
+               "SELECT disease, MEDIAN(cost) FROM h2")
+        assert run_query(hospital_system, sql).per_value == {"Cancer": 300}
+
+    def test_verified_psi(self, hospital_system):
+        assert run_query(hospital_system, PSI_SQL + " VERIFY").verified
+
+    def test_plan_is_frozen(self):
+        plan = parse_query(PSI_SQL)
+        with pytest.raises(Exception):
+            plan.set_op = "psu"
+        assert isinstance(plan, QueryPlan)

@@ -1,0 +1,108 @@
+"""Unit tests for the in-memory relational substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+from repro.exceptions import QueryError
+
+
+@pytest.fixture()
+def rel():
+    return Relation("t", {
+        "k": ["a", "b", "a", "c", "b"],
+        "v": [1, 2, 3, 4, 5],
+    })
+
+
+class TestConstruction:
+    def test_shape(self, rel):
+        assert rel.num_rows == 5
+        assert len(rel) == 5
+        assert rel.column_names == ["k", "v"]
+
+    def test_empty_relation_allowed(self):
+        empty = Relation("e", {"k": []})
+        assert empty.num_rows == 0
+        assert empty.distinct("k") == []
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(QueryError):
+            Relation("t", {})
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(QueryError):
+            Relation("t", {"a": [1], "b": [1, 2]})
+
+    def test_columns_are_copied(self):
+        source = [1, 2, 3]
+        r = Relation("t", {"a": source})
+        source.append(4)
+        assert r.num_rows == 3
+
+
+class TestAccess:
+    def test_column(self, rel):
+        assert rel.column("v") == [1, 2, 3, 4, 5]
+
+    def test_column_array(self, rel):
+        arr = rel.column_array("v")
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [1, 2, 3, 4, 5]
+
+    def test_missing_column(self, rel):
+        with pytest.raises(QueryError):
+            rel.column("nope")
+
+    def test_has_column(self, rel):
+        assert rel.has_column("k")
+        assert not rel.has_column("nope")
+
+    def test_rows(self, rel):
+        assert list(rel.rows())[0] == ("a", 1)
+
+    def test_distinct_order_preserving(self, rel):
+        assert rel.distinct("k") == ["a", "b", "c"]
+
+
+class TestGroupBy:
+    def test_sum(self, rel):
+        assert rel.group_by_sum("k", "v") == {"a": 4, "b": 7, "c": 4}
+
+    def test_count(self, rel):
+        assert rel.group_by_count("k") == {"a": 2, "b": 2, "c": 1}
+
+    def test_max(self, rel):
+        assert rel.group_by_max("k", "v") == {"a": 3, "b": 5, "c": 4}
+
+    def test_min(self, rel):
+        assert rel.group_by_min("k", "v") == {"a": 1, "b": 2, "c": 4}
+
+    def test_paper_table1_sums(self):
+        # select disease, sum(cost) from hospital1 group by disease.
+        h1 = Relation("h1", {
+            "disease": ["Cancer", "Cancer", "Heart"],
+            "cost": [100, 200, 300],
+        })
+        assert h1.group_by_sum("disease", "cost") == {
+            "Cancer": 300, "Heart": 300}
+        assert h1.group_by_count("disease") == {"Cancer": 2, "Heart": 1}
+
+
+class TestTransforms:
+    def test_select(self, rel):
+        projected = rel.select(["v"])
+        assert projected.column_names == ["v"]
+        assert projected.num_rows == 5
+
+    def test_select_missing(self, rel):
+        with pytest.raises(QueryError):
+            rel.select(["nope"])
+
+    def test_filter_equals(self, rel):
+        filtered = rel.filter_equals("k", "a")
+        assert filtered.column("v") == [1, 3]
+        assert filtered.num_rows == 2
+
+    def test_filter_no_match(self, rel):
+        assert rel.filter_equals("k", "zzz").num_rows == 0

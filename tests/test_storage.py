@@ -1,0 +1,70 @@
+"""Unit tests for the server-side share store (Table 11 layout)."""
+
+import numpy as np
+import pytest
+
+from repro.data.storage import ServerStore, ShareKind
+from repro.exceptions import ProtocolError
+
+
+@pytest.fixture()
+def store():
+    s = ServerStore()
+    s.put(0, "OK", np.asarray([1, 2, 3]), ShareKind.ADDITIVE)
+    s.put(1, "OK", np.asarray([4, 5, 6]), ShareKind.ADDITIVE)
+    s.put(0, "PK", np.asarray([7, 8, 9]), ShareKind.SHAMIR)
+    return s
+
+
+class TestStore:
+    def test_get(self, store):
+        col = store.get(0, "OK")
+        assert col.kind is ShareKind.ADDITIVE
+        assert col.values.tolist() == [1, 2, 3]
+
+    def test_missing(self, store):
+        with pytest.raises(ProtocolError):
+            store.get(9, "OK")
+
+    def test_has(self, store):
+        assert store.has(0, "OK")
+        assert not store.has(0, "nope")
+
+    def test_overwrite(self, store):
+        store.put(0, "OK", np.asarray([9, 9, 9]), ShareKind.ADDITIVE)
+        assert store.get(0, "OK").values.tolist() == [9, 9, 9]
+        assert len(store) == 3
+
+    def test_owners_with(self, store):
+        assert store.owners_with("OK") == [0, 1]
+        assert store.owners_with("PK") == [0]
+        assert store.owners_with("nope") == []
+
+    def test_columns_of(self, store):
+        assert store.columns_of(0) == ["OK", "PK"]
+        assert store.columns_of(1) == ["OK"]
+
+    def test_fetch_column_ordered(self, store):
+        shares = store.fetch_column("OK", ShareKind.ADDITIVE)
+        assert [s.tolist() for s in shares] == [[1, 2, 3], [4, 5, 6]]
+
+    def test_fetch_subset(self, store):
+        shares = store.fetch_column("OK", ShareKind.ADDITIVE, owner_ids=[1])
+        assert len(shares) == 1
+        assert shares[0].tolist() == [4, 5, 6]
+
+    def test_fetch_wrong_kind(self, store):
+        with pytest.raises(ProtocolError):
+            store.fetch_column("OK", ShareKind.SHAMIR)
+
+    def test_fetch_unknown_column(self, store):
+        with pytest.raises(ProtocolError):
+            store.fetch_column("nope", ShareKind.ADDITIVE)
+
+    def test_nbytes_positive(self, store):
+        assert store.nbytes == 3 * 3 * 8
+
+    def test_values_cast_to_int64(self):
+        s = ServerStore()
+        s.put(0, "c", np.asarray([1.0, 2.0]), ShareKind.ADDITIVE)
+        assert s.get(0, "c").values.dtype == np.int64

@@ -1,0 +1,115 @@
+"""Tests for the PrismSystem facade and deployment wiring."""
+
+import pytest
+
+from repro import Domain, ParameterError, PrismSystem, Relation
+from repro.core.system import NUM_SERVERS
+from repro.entities.adversary import SkipCellsServer
+from repro.entities.server import PrismServer
+
+
+@pytest.fixture()
+def relations():
+    return [
+        Relation("a", {"k": [1, 2, 3], "v": [10, 20, 30]}),
+        Relation("b", {"k": [2, 3, 4], "v": [1, 2, 3]}),
+    ]
+
+
+@pytest.fixture()
+def domain():
+    return Domain.integer_range("k", 8)
+
+
+class TestConstruction:
+    def test_build_wires_everything(self, relations, domain):
+        system = PrismSystem.build(relations, domain, "k",
+                                   agg_attributes=("v",))
+        assert len(system.owners) == 2
+        assert len(system.servers) == NUM_SERVERS
+        assert system.announcer is not None
+        assert system.relations == [o.relation for o in system.owners]
+
+    def test_single_owner_rejected(self, domain):
+        with pytest.raises(ParameterError):
+            PrismSystem([Relation("a", {"k": [1]})], domain)
+
+    def test_server_factory_injection(self, relations, domain):
+        system = PrismSystem.build(relations, domain, "k",
+                                   server_factories={0: SkipCellsServer})
+        assert isinstance(system.servers[0], SkipCellsServer)
+        assert type(system.servers[1]) is PrismServer
+
+    def test_nonce_monotone(self, relations, domain):
+        system = PrismSystem(relations, domain)
+        assert system.next_nonce() < system.next_nonce()
+
+    def test_outsourcing_records_traffic(self, relations, domain):
+        system = PrismSystem(relations, domain)
+        system.outsource("k")
+        assert system.transport.stats.summary()["owner_to_server_bytes"] > 0
+
+    def test_build_without_aggregates(self, relations, domain):
+        system = PrismSystem.build(relations, domain, "k")
+        assert set(system.psi("k").values) == {2, 3}
+        with pytest.raises(Exception):
+            system.psi_sum("k", "v")  # aggregation columns absent
+
+
+class TestQueriesThroughFacade:
+    def test_all_query_kinds(self, relations, domain):
+        system = PrismSystem.build(relations, domain, "k",
+                                   agg_attributes=("v",),
+                                   with_verification=True)
+        assert set(system.psi("k").values) == {2, 3}
+        assert set(system.psu("k").values) == {1, 2, 3, 4}
+        assert system.psi_count("k").count == 2
+        assert system.psu_count("k").count == 4
+        assert system.psi_sum("k", "v")["v"].per_value == {2: 21, 3: 32}
+        assert system.psi_average("k", "v")["v"].per_value == {
+            2: 10.5, 3: 16.0}
+        assert system.psi_max("k", "v").per_value == {2: 20, 3: 30}
+        assert system.psi_min("k", "v").per_value == {2: 1, 3: 2}
+        assert system.psi_median("k", "v").per_value == {2: 10.5, 3: 16.0}
+        assert system.psu_sum("k", "v")["v"].per_value == {
+            1: 10, 2: 21, 3: 32, 4: 3}
+
+    def test_verified_paths(self, relations, domain):
+        system = PrismSystem.build(relations, domain, "k",
+                                   agg_attributes=("v",),
+                                   with_verification=True)
+        assert system.psi("k", verify=True).verified
+        assert system.psi_count("k", verify=True).count == 2
+        assert system.psi_sum("k", "v", verify=True)["v"].verified
+
+    def test_bucketized_lifecycle(self, relations, domain):
+        system = PrismSystem.build(relations, domain, "k")
+        tree = system.outsource_bucketized("k", fanout=2)
+        assert tree.level_sizes[0] == 8
+        result, stats = system.bucketized_psi("k")
+        assert set(result.values) == {2, 3}
+        assert stats["flat_domain_size"] == 8
+
+    def test_bucketized_without_prior_outsource(self, relations, domain):
+        # outsource_bucketized must self-provision the leaf column.
+        system = PrismSystem(relations, domain)
+        system.outsource_bucketized("k", fanout=2)
+        result, _ = system.bucketized_psi("k")
+        assert set(result.values) == {2, 3}
+
+
+class TestDeterminism:
+    def test_same_seed_same_results_and_shares(self, relations, domain):
+        a = PrismSystem.build(relations, domain, "k", seed=5)
+        b = PrismSystem.build(relations, domain, "k", seed=5)
+        sa = a.servers[0].store.get(0, "k").values
+        sb = b.servers[0].store.get(0, "k").values
+        assert (sa == sb).all()
+        assert a.psi("k").values == b.psi("k").values
+
+    def test_different_seed_different_shares(self, relations, domain):
+        a = PrismSystem.build(relations, domain, "k", seed=5)
+        b = PrismSystem.build(relations, domain, "k", seed=6)
+        sa = a.servers[0].store.get(0, "k").values
+        sb = b.servers[0].store.get(0, "k").values
+        assert not (sa == sb).all()

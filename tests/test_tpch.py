@@ -1,0 +1,78 @@
+"""Unit tests for the synthetic TPC-H LineItem generator."""
+
+import pytest
+
+from repro.data.tpch import (
+    LINEITEM_COLUMNS,
+    generate_fleet,
+    generate_lineitem,
+    guaranteed_common_keys,
+    lineitem_domain,
+)
+from repro.exceptions import ParameterError
+
+
+class TestGeneration:
+    def test_columns_match_paper(self):
+        domain = lineitem_domain(100)
+        rel = generate_lineitem(0, domain, rows=50)
+        assert rel.column_names == list(LINEITEM_COLUMNS)
+        assert rel.num_rows == 50
+
+    def test_values_within_domain(self):
+        domain = lineitem_domain(200)
+        rel = generate_lineitem(1, domain, rows=100)
+        for ok in rel.column("OK"):
+            assert domain.contains(ok)
+
+    def test_deterministic(self):
+        domain = lineitem_domain(100)
+        a = generate_lineitem(2, domain, rows=40, seed=5)
+        b = generate_lineitem(2, domain, rows=40, seed=5)
+        assert a.column("OK") == b.column("OK")
+        assert a.column("DT") == b.column("DT")
+
+    def test_owner_index_changes_data(self):
+        domain = lineitem_domain(1000)
+        a = generate_lineitem(0, domain, rows=100, seed=5)
+        b = generate_lineitem(1, domain, rows=100, seed=5)
+        assert a.column("OK") != b.column("OK")
+
+    def test_positive_values(self):
+        domain = lineitem_domain(100)
+        rel = generate_lineitem(0, domain, rows=200)
+        for col in LINEITEM_COLUMNS[1:]:
+            assert min(rel.column(col)) >= 1
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ParameterError):
+            generate_lineitem(0, lineitem_domain(10), rows=0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ParameterError):
+            generate_lineitem(0, lineitem_domain(10), rows=5,
+                              common_fraction=1.5)
+
+
+class TestFleet:
+    def test_guaranteed_intersection(self):
+        domain = lineitem_domain(5000)
+        fleet = generate_fleet(12, domain, rows_per_owner=500, seed=3)
+        common = set(fleet[0].distinct("OK"))
+        for rel in fleet[1:]:
+            common &= set(rel.distinct("OK"))
+        assert set(guaranteed_common_keys(domain)) <= common
+
+    def test_fleet_size(self):
+        fleet = generate_fleet(5, lineitem_domain(100), 50)
+        assert len(fleet) == 5
+
+    def test_single_owner_rejected(self):
+        with pytest.raises(ParameterError):
+            generate_fleet(1, lineitem_domain(100), 50)
+
+    def test_guaranteed_keys_scale_with_domain(self):
+        small = guaranteed_common_keys(lineitem_domain(100))
+        large = guaranteed_common_keys(lineitem_domain(100_000))
+        assert len(small) >= 2
+        assert len(large) > len(small)

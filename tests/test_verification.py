@@ -1,0 +1,129 @@
+"""Fault-injection tests: every §5.2 adversary must be caught (§5.2, §6)."""
+
+import pytest
+
+from repro import Domain, PrismSystem, Relation, VerificationError
+from repro.entities.adversary import (
+    DropAggregateServer,
+    FalsifyVerificationServer,
+    InjectFakeServer,
+    ReplaySwapServer,
+    SkipCellsServer,
+)
+
+DOMAIN = list(range(1, 25))
+SETS = [{1, 2, 5, 9, 14}, {2, 5, 9, 17}, {2, 5, 20}]
+
+
+def adversarial_system(server_factories, seed=3, sets=SETS):
+    relations = [Relation(f"o{i}", {"k": sorted(s), "amt": [7] * len(s)})
+                 for i, s in enumerate(sets)]
+    domain = Domain("k", DOMAIN)
+    return PrismSystem.build(relations, domain, "k", agg_attributes=("amt",),
+                             with_verification=True, seed=seed,
+                             server_factories=server_factories)
+
+
+class TestHonestBaseline:
+    def test_honest_servers_verify_clean(self):
+        system = adversarial_system({})
+        result = system.psi("k", verify=True)
+        assert result.verified
+        assert set(result.values) == {2, 5}
+        assert system.psi_count("k", verify=True).count == 2
+        assert system.psi_sum("k", "amt", verify=True)["amt"].per_value == {
+            2: 21, 5: 21}
+
+
+class TestPsiVerificationCatchesAdversaries:
+    def test_skip_cells_detected(self):
+        system = adversarial_system({0: SkipCellsServer})
+        with pytest.raises(VerificationError):
+            system.psi("k", verify=True)
+
+    def test_replay_swap_detected(self):
+        factory = lambda i, p: ReplaySwapServer(i, p, swap=(0, 5))
+        system = adversarial_system({1: factory})
+        with pytest.raises(VerificationError):
+            system.psi("k", verify=True)
+
+    def test_inject_fake_detected(self):
+        factory = lambda i, p: InjectFakeServer(i, p, cells=(3,))
+        system = adversarial_system({0: factory})
+        with pytest.raises(VerificationError):
+            system.psi("k", verify=True)
+
+    def test_falsified_verification_stream_detected(self):
+        factory = lambda i, p: FalsifyVerificationServer(i, p, cell=2)
+        system = adversarial_system({0: factory})
+        with pytest.raises(VerificationError):
+            system.psi("k", verify=True)
+
+    def test_failed_cells_reported(self):
+        factory = lambda i, p: InjectFakeServer(i, p, cells=(3,))
+        system = adversarial_system({0: factory})
+        with pytest.raises(VerificationError) as excinfo:
+            system.psi("k", verify=True)
+        assert excinfo.value.failed_cells
+        assert 3 in excinfo.value.failed_cells
+
+    def test_unverified_query_does_not_raise(self):
+        # Without verification the tampering goes unnoticed — that is the
+        # point of the verification protocol.
+        factory = lambda i, p: InjectFakeServer(i, p, cells=(3,))
+        system = adversarial_system({0: factory})
+        result = system.psi("k")  # no verify
+        assert result is not None
+
+    def test_both_servers_malicious_detected(self):
+        system = adversarial_system({0: SkipCellsServer, 1: SkipCellsServer})
+        with pytest.raises(VerificationError):
+            system.psi("k", verify=True)
+
+
+class TestCountVerification:
+    def test_skip_cells_detected(self):
+        system = adversarial_system({0: SkipCellsServer})
+        with pytest.raises(VerificationError):
+            system.psi_count("k", verify=True)
+
+    def test_inject_detected(self):
+        factory = lambda i, p: InjectFakeServer(i, p, cells=(0, 1))
+        system = adversarial_system({1: factory})
+        with pytest.raises(VerificationError):
+            system.psi_count("k", verify=True)
+
+
+class TestAggregateVerification:
+    def test_dropped_cells_detected(self):
+        # Drop the Eq. 11 output for the cells of the common values.
+        common_cells = tuple(range(8))
+        factory = lambda i, p: DropAggregateServer(i, p, cells=common_cells)
+        system = adversarial_system({0: factory})
+        with pytest.raises(VerificationError):
+            system.psi_sum("k", "amt", verify=True)
+
+    def test_unverified_sum_silently_wrong(self):
+        common_cells = tuple(range(8))
+        factory = lambda i, p: DropAggregateServer(i, p, cells=common_cells)
+        system = adversarial_system({0: factory})
+        tampered = system.psi_sum("k", "amt")["amt"].per_value
+        honest = adversarial_system({}).psi_sum("k", "amt")["amt"].per_value
+        assert tampered != honest
+
+
+class TestDetectionProbability:
+    def test_skip_attack_with_unpermuted_complement_would_pass(self):
+        # The reason PF_db1 exists (§5.2): replicate cell 0 of both
+        # streams; with the complement un-permuted, the forged proof pairs
+        # up.  We emulate by checking that cell 0's own proof is valid.
+        system = adversarial_system({})
+        out = [s.psi_round("k") for s in system.servers[:2]]
+        vout = [s.verification_round("vk") for s in system.servers[:2]]
+        owner = system.owners[0]
+        eta = owner.params.eta
+        fop0 = int(out[0][0]) * int(out[1][0]) % eta
+        # Find the complement cell that corresponds to cell 0.
+        vcell = owner.params.pf_db1.apply_index(0)
+        r2 = int(vout[0][vcell]) * int(vout[1][vcell]) % eta
+        assert fop0 * r2 % eta == 1
