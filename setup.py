@@ -1,5 +1,51 @@
-"""Setuptools shim (the build configuration lives in pyproject.toml)."""
+"""Package configuration for the Prism reproduction."""
 
-from setuptools import setup
+import pathlib
 
-setup()
+from setuptools import find_packages, setup
+
+README = pathlib.Path(__file__).with_name("README.md")
+
+setup(
+    name="prism-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Prism: private verifiable set computation over "
+        "multi-owner outsourced databases (SIGMOD 2021), with a batched "
+        "multi-query execution engine"
+    ),
+    long_description=README.read_text(encoding="utf-8")
+    if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+        "pytest>=7.0",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7.0",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-bench=repro.bench.__main__:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Security :: Cryptography",
+        "Topic :: Database",
+    ],
+)

@@ -13,6 +13,7 @@ Public API highlights:
   and table of the paper's evaluation (§8).
 """
 
+from repro.core.batch import BatchQuery, QueryBatch, run_batch
 from repro.core.query import parse_query, run_query
 from repro.core.results import (
     AggregateResult,
@@ -39,6 +40,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AggregateResult",
+    "BatchQuery",
     "CountResult",
     "Domain",
     "DomainError",
@@ -50,6 +52,7 @@ __all__ = [
     "PrismSystem",
     "ProductDomain",
     "ProtocolError",
+    "QueryBatch",
     "QueryError",
     "Relation",
     "SetResult",
@@ -57,6 +60,7 @@ __all__ = [
     "VerificationError",
     "parse_query",
     "read_relation_csv",
+    "run_batch",
     "run_query",
     "write_relation_csv",
     "__version__",

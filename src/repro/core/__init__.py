@@ -1,6 +1,7 @@
 """Core Prism protocols and the high-level system facade."""
 
 from repro.core.aggregate import aggregate_reference, run_aggregate
+from repro.core.batch import BatchQuery, QueryBatch, run_batch
 from repro.core.bucketized import (
     BucketTree,
     run_bucketized_psi,
@@ -35,6 +36,7 @@ from repro.core.system import NUM_SERVERS, PrismSystem
 __all__ = [
     "AggregateResult",
     "AnnouncerParams",
+    "BatchQuery",
     "BucketTree",
     "CountResult",
     "ExtremaResult",
@@ -43,6 +45,7 @@ __all__ = [
     "OwnerParams",
     "PhaseTimings",
     "PrismSystem",
+    "QueryBatch",
     "QueryPlan",
     "ServerGroupView",
     "ServerParams",
@@ -54,6 +57,7 @@ __all__ = [
     "psi_reference",
     "psu_reference",
     "run_aggregate",
+    "run_batch",
     "run_bucketized_psi",
     "run_extrema",
     "run_median",

@@ -33,6 +33,35 @@ from repro.core.results import AggregateResult
 from repro.exceptions import ProtocolError, VerificationError
 
 
+def indicator_shares(system, owner, column: str, owner_ids, member,
+                     permuted: bool = False) -> list:
+    """Dealt Shamir shares of a 0/1 indicator, via the initiator's cache.
+
+    The querier's Phase-2 share generation (§6.1 Step 3) is memoised in
+    :class:`~repro.entities.initiator.IndicatorShareCache` so repeated or
+    overlapping queries — the batch engine's bread and butter — skip the
+    dealing round entirely.  ``permuted`` selects the verification stream
+    (the ``PF_db1``-permuted copy of the indicator).
+
+    Systems without an initiator cache (bare orchestration objects in
+    tests) fall back to dealing fresh shares every time.
+    """
+    vector = member.astype(np.int64)
+    stream = "z"
+    if permuted:
+        vector = owner.params.pf_db1.apply(vector)
+        stream = "vz"
+    cache = getattr(getattr(system, "initiator", None), "indicator_cache", None)
+    if cache is None:
+        return owner.shamir_shares_of(vector)
+    key = cache.key(stream, owner.owner_id, column, owner_ids, vector)
+    shares = cache.get(key)
+    if shares is None:
+        shares = owner.shamir_shares_of(vector)
+        cache.put(key, shares)
+    return shares
+
+
 def _indicator_round(system, attribute, over: str, num_threads, querier,
                      owner_ids):
     """Round 1: run PSI or PSU and return (membership, timings-so-far)."""
@@ -85,11 +114,13 @@ def run_aggregate(system, attribute: str, agg_attributes,
 
     # Round 2: the querier deals z shares to all three servers.
     transport.begin_round(f"{over}-{op}")
+    indicator_column = psi_column_name(attribute)
     with timings.measure("owner"):
-        z_shares = owner.make_z_shares(member)
-        vz_shares = (owner.shamir_shares_of(
-            owner.params.pf_db1.apply(member.astype(np.int64)))
-            if verify else None)
+        z_shares = indicator_shares(system, owner, indicator_column,
+                                    owner_ids, member)
+        vz_shares = (indicator_shares(system, owner, indicator_column,
+                                      owner_ids, member, permuted=True)
+                     if verify else None)
     for server, z in zip(system.servers[:3], z_shares):
         transport.transfer(owner.endpoint, server.endpoint, "z-shares", z)
     if verify:

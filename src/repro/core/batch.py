@@ -1,0 +1,635 @@
+"""Batched multi-query execution — the serving-engine path.
+
+The per-query API (:meth:`~repro.core.system.PrismSystem.psi` and
+friends) runs one full server sweep over the χ table per query.  Under
+concurrent load that is wasteful twice over: every query pays the fixed
+Python/numpy dispatch cost of its own sweep, and queries that touch the
+same stored column redo identical work.  This module turns N heterogeneous
+queries into a handful of *fused* sweeps:
+
+1. :class:`BatchQuery` normalises one query request (kind, attribute,
+   aggregation attributes, verification, owner subset, querier).
+2. :class:`QueryBatch` plans the batch: every query is expanded into the
+   kernel rows it needs, rows are deduplicated, and rows are grouped by
+   **kernel family** — PSI/verification sweeps (Eq. 3 / Eq. 7), count
+   sweeps (§6.5), PSU sweeps (Eq. 18), and aggregation sweeps (Eq. 11).
+3. Each family executes as a *single* fused server call per owner group:
+   the per-query share vectors are stacked into a 2-D matrix and the
+   server makes one chunked, branch-free pass over the χ length
+   (:meth:`~repro.entities.server.PrismServer.psi_round_batch` etc.), so
+   access-pattern hiding is preserved — the servers' instruction sequence
+   depends on the batch shape only, never on the data.
+4. Owner-side finalisation reuses the exact per-query math of the
+   sequential runners, so every result is bit-identical to what the
+   sequential API returns for the same query.
+
+Aggregation queries additionally route their Phase-2 indicator-share
+generation through the initiator's
+:class:`~repro.entities.initiator.IndicatorShareCache`, so repeated or
+overlapping queries skip the Shamir dealing round entirely.
+
+Extrema (max/min) and median queries are announcer-interactive — their
+per-common-value rounds cannot be fused into a data-independent sweep —
+and are therefore not batchable; submit them through the per-query API.
+
+Caveats on result metadata: all results of one batch share a single
+:class:`~repro.core.results.PhaseTimings` object (family sweeps are timed
+once, not per query, and the data-fetch step is folded into server time),
+and ``traffic`` summaries are cumulative transport counters exactly as in
+the sequential API.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.aggregate import indicator_shares
+from repro.core.psi import psi_column_name
+from repro.core.query import QueryPlan, parse_query
+from repro.core.results import (
+    AggregateResult,
+    CountResult,
+    PhaseTimings,
+    SetResult,
+)
+from repro.exceptions import QueryError, VerificationError
+from repro.network.message import batch_kind
+
+#: Set-query kinds (one indicator sweep, no Shamir round).
+SET_KINDS = ("psi", "psu", "psi_count", "psu_count")
+#: Aggregation kinds (indicator sweep + Eq. 11 round).
+AGG_KINDS = ("psi_sum", "psi_average", "psu_sum", "psu_average")
+#: Every batchable query kind.
+KINDS = SET_KINDS + AGG_KINDS
+
+_PSU_BASED = ("psu", "psu_count", "psu_sum", "psu_average")
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchQuery:
+    """One normalised query request inside a batch.
+
+    Attributes:
+        kind: one of :data:`KINDS` (``psi``, ``psu``, ``psi_count``,
+            ``psu_count``, ``psi_sum``, ``psi_average``, ``psu_sum``,
+            ``psu_average``).
+        attribute: the set-operation attribute ``A_c`` (or tuple for
+            multi-attribute PSI).
+        agg_attributes: attributes to aggregate (required for the
+            aggregation kinds, forbidden otherwise).
+        verify: run the per-kind verification stream where the sequential
+            API supports it.
+        owner_ids: restrict the query to a subset of owners.
+        querier: the owner that finalises (and, for aggregations, deals
+            the indicator shares).
+    """
+
+    kind: str
+    attribute: str | tuple
+    agg_attributes: tuple = ()
+    verify: bool = False
+    owner_ids: tuple | None = None
+    querier: int = 0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise QueryError(
+                f"unknown batch query kind {self.kind!r}; expected one of "
+                f"{', '.join(KINDS)} (extrema/median are announcer-"
+                f"interactive and not batchable)"
+            )
+        if isinstance(self.attribute, list):
+            object.__setattr__(self, "attribute", tuple(self.attribute))
+        agg = self.agg_attributes
+        if isinstance(agg, str):
+            agg = (agg,)
+        object.__setattr__(self, "agg_attributes", tuple(agg))
+        if self.owner_ids is not None:
+            object.__setattr__(self, "owner_ids", tuple(self.owner_ids))
+        if self.kind in AGG_KINDS and not self.agg_attributes:
+            raise QueryError(f"{self.kind} needs at least one agg attribute")
+        if self.kind in SET_KINDS and self.agg_attributes:
+            raise QueryError(f"{self.kind} takes no aggregation attributes")
+        if self.kind == "psu_count" and self.verify:
+            raise QueryError("psu_count has no verification stream")
+
+    @property
+    def column(self) -> str:
+        """The stored χ column this query's indicator sweep reads."""
+        return psi_column_name(self.attribute)
+
+    @classmethod
+    def coerce(cls, query) -> "BatchQuery":
+        """Accept a BatchQuery, a Table-4 SQL string, a QueryPlan, or a dict."""
+        if isinstance(query, cls):
+            return query
+        if isinstance(query, str):
+            return cls.from_plan(parse_query(query))
+        if isinstance(query, QueryPlan):
+            return cls.from_plan(query)
+        if isinstance(query, dict):
+            return cls(**query)
+        raise QueryError(
+            f"cannot interpret {type(query).__name__} as a batch query"
+        )
+
+    @classmethod
+    def from_plan(cls, plan: QueryPlan) -> "BatchQuery":
+        """Translate a parsed Table-4 statement into a batch query.
+
+        Mirrors :meth:`QueryPlan.execute` exactly, including the shapes
+        where that method quietly drops ``verify`` (plain PSU and
+        PSU-Count have no verification stream in the sequential API).
+        """
+        if plan.aggregate is None:
+            verify = plan.verify if plan.set_op == "psi" else False
+            return cls(kind=plan.set_op, attribute=plan.attribute,
+                       verify=verify)
+        fn, attr = plan.aggregate
+        if fn == "COUNT":
+            verify = plan.verify if plan.set_op == "psi" else False
+            return cls(kind=f"{plan.set_op}_count", attribute=plan.attribute,
+                       verify=verify)
+        if fn == "SUM":
+            return cls(kind=f"{plan.set_op}_sum", attribute=plan.attribute,
+                       agg_attributes=(attr,), verify=plan.verify)
+        if fn == "AVG":
+            return cls(kind=f"{plan.set_op}_average",
+                       attribute=plan.attribute, agg_attributes=(attr,),
+                       verify=plan.verify)
+        raise QueryError(
+            f"{fn} queries are announcer-interactive and not batchable; "
+            f"run them through the per-query API"
+        )
+
+    def run_sequential(self, system, num_threads: int | None = None):
+        """Execute this query through the sequential per-query API.
+
+        The batch engine's correctness oracle: ``run_batch`` must return
+        results identical to mapping this over the batch.
+        """
+        kwargs = {"num_threads": num_threads, "querier": self.querier,
+                  "owner_ids": list(self.owner_ids)
+                  if self.owner_ids is not None else None}
+        if self.kind == "psi":
+            return system.psi(self.attribute, verify=self.verify, **kwargs)
+        if self.kind == "psu":
+            return system.psu(self.attribute, verify=self.verify, **kwargs)
+        if self.kind == "psi_count":
+            return system.psi_count(self.attribute, verify=self.verify,
+                                    **kwargs)
+        if self.kind == "psu_count":
+            return system.psu_count(self.attribute, **kwargs)
+        runner = getattr(system, self.kind)
+        return runner(self.attribute, list(self.agg_attributes),
+                      verify=self.verify, **kwargs)
+
+
+@dataclasses.dataclass
+class _AggRow:
+    """One *unique* Eq. 11 row of the fused aggregation sweep."""
+
+    column: str
+    z_shares: list
+
+
+@dataclasses.dataclass(frozen=True)
+class _AggUse:
+    """One query's claim on a unique aggregation row."""
+
+    query_index: int
+    purpose: str  # "sum" | "vsum" | "count"
+    agg_attribute: str | None
+    row: int  # index into the group's unique rows
+
+
+class QueryBatch:
+    """Planner and executor for a batch of heterogeneous queries.
+
+    Args:
+        system: a :class:`~repro.core.system.PrismSystem`.
+        queries: an iterable of :class:`BatchQuery` (or SQL strings,
+            :class:`QueryPlan` objects, or keyword dicts).
+        num_threads: server-side thread count (default: system setting).
+
+    After :meth:`execute`, :attr:`stats` reports how much work fusion
+    saved: sweep counts per family, deduplicated rows, and the
+    indicator-cache counters.
+    """
+
+    def __init__(self, system, queries, num_threads: int | None = None):
+        self.system = system
+        self.queries = [BatchQuery.coerce(q) for q in queries]
+        self.num_threads = (num_threads if num_threads is not None
+                            else system.num_threads)
+        self.timings = PhaseTimings()
+        self.stats: dict = {}
+        self._plan_built = False
+        # family → owner-group → row-key → row index (dedup maps).
+        self._psi_rows: dict = {}
+        self._count_rows: dict = {}
+        self._psu_rows: dict = {}
+        # PSU rows in query-submission order, for per-execution nonce
+        # draws (Eq. 18 masks must be fresh on every run).
+        self._psu_order: list[tuple] = []
+        self._psu_nonces: dict = {}
+        # per-query handles into the family outputs.
+        self._handles: list[dict] = []
+
+    # -- planning -------------------------------------------------------------
+
+    def plan(self) -> dict:
+        """Expand queries into deduplicated kernel rows, grouped by family.
+
+        Returns a summary dict (also stored in :attr:`stats`): rows per
+        family and how many per-query rows fusion deduplicated away.
+        """
+        if self._plan_built:
+            return self.stats["plan"]
+        requested = 0
+
+        def psi_row(group, column, subtract):
+            rows = self._psi_rows.setdefault(group, {})
+            return rows.setdefault((column, subtract), len(rows))
+
+        def count_row(group, column, subtract, pf2):
+            rows = self._count_rows.setdefault(group, {})
+            return rows.setdefault((column, subtract, pf2), len(rows))
+
+        def psu_row(group, column, permute):
+            rows = self._psu_rows.setdefault(group, [])
+            rows.append((column, permute))
+            self._psu_order.append((group, len(rows) - 1))
+            return len(rows) - 1
+
+        for query in self.queries:
+            group = query.owner_ids
+            base = query.column
+            handle: dict = {"group": group}
+            if query.kind == "psi":
+                requested += 1
+                handle["data"] = ("psi", psi_row(group, base, True))
+                if query.verify:
+                    requested += 1
+                    handle["proof"] = ("psi", psi_row(group, "v" + base, False))
+            elif query.kind == "psu":
+                requested += 1
+                handle["data"] = ("psu", psu_row(group, base, False))
+                if query.verify:
+                    requested += 1
+                    # The "nobody holds it" stream: Eq. 3 over the complement.
+                    handle["proof"] = ("psi", psi_row(group, "v" + base, True))
+            elif query.kind == "psi_count":
+                requested += 1
+                column = ("c" + base) if query.verify else base
+                handle["data"] = ("count", count_row(group, column, True, False))
+                if query.verify:
+                    requested += 1
+                    handle["proof"] = (
+                        "count", count_row(group, "cv" + base, False, True))
+            elif query.kind == "psu_count":
+                requested += 1
+                handle["data"] = ("psu", psu_row(group, base, True))
+            else:  # aggregation kinds: round 1 is an unverified PSI/PSU.
+                requested += 1
+                if query.kind in _PSU_BASED:
+                    handle["data"] = ("psu", psu_row(group, base, False))
+                else:
+                    handle["data"] = ("psi", psi_row(group, base, True))
+            self._handles.append(handle)
+
+        fused = (sum(len(r) for r in self._psi_rows.values())
+                 + sum(len(r) for r in self._count_rows.values())
+                 + sum(len(r) for r in self._psu_rows.values()))
+        summary = {
+            "queries": len(self.queries),
+            "psi_rows": sum(len(r) for r in self._psi_rows.values()),
+            "count_rows": sum(len(r) for r in self._count_rows.values()),
+            "psu_rows": sum(len(r) for r in self._psu_rows.values()),
+            "rows_requested": requested,
+            "rows_deduplicated": requested - fused,
+        }
+        self.stats["plan"] = summary
+        self._plan_built = True
+        return summary
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self) -> list:
+        """Run the batch; returns one result per query, in input order."""
+        if not self.queries:
+            return []
+        self.plan()
+        # Fresh timings per execution: result objects of one run share a
+        # PhaseTimings instance, which a later run must not mutate.
+        self.timings = PhaseTimings()
+        # Fresh Eq. 18 nonces per execution, drawn in query-submission
+        # order (matching the sequential loop); re-running the same plan
+        # must never replay a mask stream.
+        self._psu_nonces = {group: [None] * len(rows)
+                            for group, rows in self._psu_rows.items()}
+        for group, row in self._psu_order:
+            self._psu_nonces[group][row] = self.system.next_nonce()
+        outputs = self._run_indicator_sweeps()
+        results: list = [None] * len(self.queries)
+        members: dict[int, np.ndarray] = {}
+        # One traffic snapshot per phase: batched results share metadata.
+        traffic = self.system.transport.stats.summary()
+        with self.timings.measure("owner"):
+            for index, query in enumerate(self.queries):
+                member = self._finalize_indicator(index, query, outputs,
+                                                  results, traffic)
+                if member is not None:
+                    members[index] = member
+        self._run_aggregate_sweeps(members, results)
+        self.stats["cache"] = dict(self._cache_stats())
+        return results
+
+    def _cache_stats(self) -> dict:
+        cache = getattr(getattr(self.system, "initiator", None),
+                        "indicator_cache", None)
+        return cache.stats if cache is not None else {}
+
+    @staticmethod
+    def _owner_list(group):
+        return list(group) if group is not None else None
+
+    def _run_indicator_sweeps(self) -> dict:
+        """One fused sweep per family per owner group, on both servers.
+
+        Returns ``outputs[(family, group, server_index)]`` → (Q, b) matrix.
+        """
+        system = self.system
+        transport = system.transport
+        receivers = [o.endpoint for o in system.owners]
+        outputs: dict = {}
+        sweeps = 0
+        for family, groups in (("psi", self._psi_rows),
+                               ("count", self._count_rows)):
+            for group, rows in groups.items():
+                if not rows:
+                    continue
+                transport.begin_round(f"batch-{family}")
+                ordered = sorted(rows, key=rows.get)
+                columns = [c for c, *_ in ordered]
+                subtract = [flags[0] for _, *flags in ordered]
+                owner_ids = self._owner_list(group)
+                for s_index, server in enumerate(system.servers[:2]):
+                    with self.timings.measure("server"):
+                        if family == "psi":
+                            out = server.psi_round_batch(
+                                columns, self.num_threads, owner_ids,
+                                subtract_m=subtract)
+                        else:
+                            pf2 = [flags[1] for _, *flags in ordered]
+                            out = server.count_round_batch(
+                                columns, self.num_threads, owner_ids,
+                                subtract_m=subtract, use_pf_s2=pf2)
+                    sweeps += 1
+                    transport.broadcast(
+                        server.endpoint, receivers,
+                        batch_kind(f"{family}-output", len(columns)), out)
+                    outputs[(family, group, s_index)] = out
+        for group, rows in self._psu_rows.items():
+            if not rows:
+                continue
+            transport.begin_round("batch-psu")
+            columns = [c for c, _ in rows]
+            nonces = self._psu_nonces[group]
+            permute = [p for _, p in rows]
+            owner_ids = self._owner_list(group)
+            for s_index, server in enumerate(system.servers[:2]):
+                with self.timings.measure("server"):
+                    out = server.psu_round_batch(
+                        columns, nonces, self.num_threads, owner_ids,
+                        permute=permute)
+                sweeps += 1
+                transport.broadcast(server.endpoint, receivers,
+                                    batch_kind("psu-output", len(columns)),
+                                    out)
+                outputs[("psu", group, s_index)] = out
+        self.stats["indicator_sweeps"] = sweeps
+        return outputs
+
+    def _rows(self, handle_entry, group, outputs):
+        """The two servers' output rows behind one per-query handle."""
+        family, row = handle_entry
+        return (outputs[(family, group, 0)][row],
+                outputs[(family, group, 1)][row])
+
+    def _finalize_indicator(self, index, query, outputs, results, traffic):
+        """Per-query owner math — identical to the sequential runners.
+
+        Fills ``results[index]`` for set queries; returns the membership
+        vector for aggregation queries (finalised later).
+        """
+        system = self.system
+        owner = system.owners[query.querier]
+        handle = self._handles[index]
+        group = handle["group"]
+        r0, r1 = self._rows(handle["data"], group, outputs)
+
+        if query.kind == "psi":
+            fop = owner.finalize_psi(r0, r1)
+            member = owner.psi_membership(fop)
+            verified = False
+            if query.verify:
+                v0, v1 = self._rows(handle["proof"], group, outputs)
+                owner.verify_psi(fop, v0, v1)
+                verified = True
+            values = owner.decode_cells(member, query.attribute)
+            results[index] = SetResult(values=values, membership=member,
+                                       timings=self.timings, traffic=traffic,
+                                       verified=verified)
+            return None
+        if query.kind == "psu":
+            member = owner.finalize_psu(r0, r1)
+            verified = False
+            if query.verify:
+                v0, v1 = self._rows(handle["proof"], group, outputs)
+                absent_fop = owner.finalize_psi(v0, v1)
+                absent = owner.params.pf_db1.invert(absent_fop) == 1
+                bad = np.nonzero(member == absent)[0]
+                if bad.size:
+                    raise VerificationError(
+                        f"PSU verification failed at {bad.size} of "
+                        f"{member.size} cells",
+                        failed_cells=bad.tolist(),
+                    )
+                verified = True
+            values = owner.decode_cells(member, query.attribute)
+            results[index] = SetResult(values=values, membership=member,
+                                       timings=self.timings, traffic=traffic,
+                                       verified=verified)
+            return None
+        if query.kind == "psi_count":
+            fop = owner.finalize_psi(r0, r1)
+            count = int(np.count_nonzero(fop == 1))
+            if query.verify:
+                v0, v1 = self._rows(handle["proof"], group, outputs)
+                eta = owner.params.eta
+                r2 = np.mod(np.mod(v0, eta) * np.mod(v1, eta), eta)
+                proof = np.mod(fop * r2, eta)
+                bad = np.nonzero(proof != 1)[0]
+                if bad.size:
+                    raise VerificationError(
+                        f"count verification failed at {bad.size} cells",
+                        failed_cells=bad.tolist(),
+                    )
+            results[index] = CountResult(count=count, timings=self.timings,
+                                         traffic=traffic)
+            return None
+        if query.kind == "psu_count":
+            member = owner.finalize_psu(r0, r1)
+            results[index] = CountResult(count=int(np.count_nonzero(member)),
+                                         timings=self.timings, traffic=traffic)
+            return None
+        # Aggregation kinds: round 1 only establishes the membership.
+        if query.kind in _PSU_BASED:
+            return owner.finalize_psu(r0, r1)
+        return owner.psi_membership(owner.finalize_psi(r0, r1))
+
+    # -- the Eq. 11 family ----------------------------------------------------
+
+    def _run_aggregate_sweeps(self, members: dict, results: list) -> None:
+        """Fused Eq. 11 sweeps for every aggregation query in the batch.
+
+        Rows are grouped by (owner group, querier): each group stacks its
+        indicator-share vectors into one 2-D matrix per server and runs a
+        single :meth:`aggregate_round_batch` call on all three servers.
+        Rows with the same column and the same dealt indicator shares
+        (overlapping queries whose ``z`` came out of the cache) are fused
+        into one row — identical inputs give identical totals.
+        """
+        system = self.system
+        transport = system.transport
+        receivers = [o.endpoint for o in system.owners]
+        groups: dict[tuple, list[_AggRow]] = {}
+        uses: dict[tuple, list[_AggUse]] = {}
+        row_keys: dict[tuple, dict] = {}
+        deduped = 0
+
+        with self.timings.measure("owner"):
+            for index, member in members.items():
+                query = self.queries[index]
+                owner = system.owners[query.querier]
+                owner_ids = self._owner_list(query.owner_ids)
+                base = query.column
+                z = indicator_shares(system, owner, base, owner_ids, member)
+                vz = (indicator_shares(system, owner, base, owner_ids,
+                                       member, permuted=True)
+                      if query.verify else None)
+                group_key = (query.owner_ids, query.querier)
+                rows = groups.setdefault(group_key, [])
+                keys = row_keys.setdefault(group_key, {})
+                claims = uses.setdefault(group_key, [])
+
+                def claim(column, shares, purpose, agg):
+                    nonlocal deduped
+                    key = (column, id(shares))
+                    row = keys.get(key)
+                    if row is None:
+                        row = keys[key] = len(rows)
+                        rows.append(_AggRow(column, shares))
+                    else:
+                        deduped += 1
+                    claims.append(_AggUse(index, purpose, agg, row))
+
+                for agg in query.agg_attributes:
+                    claim(agg, z, "sum", agg)
+                    if query.verify:
+                        claim("v" + agg, vz, "vsum", agg)
+                if query.kind.endswith("average"):
+                    claim("a" + base, z, "count", None)
+
+        sweeps = 0
+        row_totals: dict[tuple, list[np.ndarray]] = {}
+        for group_key, rows in groups.items():
+            group, querier = group_key
+            transport.begin_round("batch-agg")
+            owner = system.owners[querier]
+            owner_ids = self._owner_list(group)
+            columns = [row.column for row in rows]
+            outs = []
+            for s_index, server in enumerate(system.servers[:3]):
+                z_matrix = np.stack([row.z_shares[s_index] for row in rows])
+                transport.transfer(owner.endpoint, server.endpoint,
+                                   batch_kind("z-shares", len(rows)), z_matrix)
+                with self.timings.measure("server"):
+                    out = server.aggregate_round_batch(
+                        columns, z_matrix, self.num_threads, owner_ids)
+                sweeps += 1
+                transport.broadcast(server.endpoint, receivers,
+                                    batch_kind("agg-output", len(rows)), out)
+                outs.append(out)
+            with self.timings.measure("owner"):
+                totals_by_row = [
+                    owner.finalize_aggregate(
+                        [outs[0][r], outs[1][r], outs[2][r]])
+                    for r in range(len(rows))
+                ]
+                for use in uses[group_key]:
+                    row_totals.setdefault(
+                        (use.query_index, use.purpose), []).append(
+                        (use.agg_attribute, totals_by_row[use.row]))
+        self.stats["aggregate_sweeps"] = sweeps
+        self.stats["aggregate_rows_deduplicated"] = deduped
+
+        traffic = transport.stats.summary()
+        with self.timings.measure("owner"):
+            for index, member in members.items():
+                results[index] = self._assemble_aggregate(index, member,
+                                                          row_totals, traffic)
+
+    def _assemble_aggregate(self, index, member, row_totals, traffic) -> dict:
+        """Per-query AggregateResult assembly (sequential-identical math)."""
+        system = self.system
+        query = self.queries[index]
+        owner = system.owners[query.querier]
+        sums = dict(row_totals.get((index, "sum"), []))
+        vsums = dict(row_totals.get((index, "vsum"), []))
+        count_rows = row_totals.get((index, "count"), [])
+        counts = count_rows[0][1] if count_rows else None
+        want_counts = query.kind.endswith("average")
+
+        results: dict[str, AggregateResult] = {}
+        for agg in query.agg_attributes:
+            totals = sums[agg]
+            verified = False
+            if query.verify:
+                vtotals = vsums[agg]
+                expect = owner.params.pf_db1.apply(totals)
+                bad = np.nonzero(vtotals != expect)[0]
+                if bad.size:
+                    raise VerificationError(
+                        f"aggregation verification failed for {agg!r} at "
+                        f"{bad.size} cells",
+                        failed_cells=bad.tolist(),
+                    )
+                verified = True
+            per_value = {}
+            for cell in np.nonzero(member)[0]:
+                value = owner.params.domain.value_of(int(cell))
+                if not want_counts:
+                    per_value[value] = int(totals[cell])
+                else:
+                    c = int(counts[cell])
+                    per_value[value] = int(totals[cell]) / c if c else 0.0
+            results[agg] = AggregateResult(per_value=per_value,
+                                           timings=self.timings,
+                                           traffic=traffic, verified=verified)
+        return results
+
+
+def run_batch(system, queries, num_threads: int | None = None) -> list:
+    """Plan and execute a batch of queries; results in input order.
+
+    Each element of ``queries`` may be a :class:`BatchQuery`, a Table-4
+    SQL string, a parsed :class:`~repro.core.query.QueryPlan`, or a
+    keyword dict.  Results are exactly what the sequential per-query API
+    would return (see :class:`QueryBatch` for the shared-metadata
+    caveats).
+    """
+    return QueryBatch(system, queries, num_threads=num_threads).execute()

@@ -21,6 +21,7 @@ Typical use::
 from __future__ import annotations
 
 from repro.core.aggregate import run_aggregate
+from repro.core.batch import QueryBatch
 from repro.core.bucketized import (
     BucketTree,
     outsource_bucketized,
@@ -137,6 +138,9 @@ class PrismSystem:
                             tuple(agg_attributes), with_verification,
                             transport=self.transport,
                             mask_zeros=mask_zeros)
+        # The outsourced snapshot changed: previously dealt indicator
+        # shares no longer correspond to current query results.
+        self.initiator.indicator_cache.invalidate()
 
     def outsource_bucketized(self, psi_attribute, fanout: int = 10) -> BucketTree:
         """Phase 1 for bucketized PSI: per-level χ columns (§6.6)."""
@@ -159,6 +163,29 @@ class PrismSystem:
     @property
     def relations(self) -> list[Relation]:
         return [owner.relation for owner in self.owners]
+
+    # -- batched execution -----------------------------------------------------
+
+    def run_batch(self, queries, num_threads: int | None = None) -> list:
+        """Execute many queries as fused server sweeps (Phase 2–4 at once).
+
+        The batch planner groups the queries by kernel family and runs
+        each family as a single chunked 2-D pass over the χ table instead
+        of one pass per query; results are identical to calling the
+        per-query methods one by one.  See :mod:`repro.core.batch` for
+        what is batchable (extrema/median are not) and for the shared
+        timings/traffic caveats.
+
+        Args:
+            queries: iterable of :class:`~repro.core.batch.BatchQuery`,
+                Table-4 SQL strings, parsed query plans, or keyword dicts.
+            num_threads: server-side thread count (default: system
+                setting).
+
+        Returns:
+            One result object per query, in input order.
+        """
+        return QueryBatch(self, queries, num_threads=num_threads).execute()
 
     # -- set queries -----------------------------------------------------------
 

@@ -47,16 +47,20 @@ class SeededPRG:
         self._buffer = b""
 
     def _refill(self, need: int) -> None:
-        chunks = [self._buffer]
         have = len(self._buffer)
-        while have < need:
-            block = hashlib.sha256(
-                self._key + struct.pack("<Q", self._counter)
-            ).digest()
-            self._counter += 1
-            chunks.append(block)
-            have += _BLOCK_BYTES
-        self._buffer = b"".join(chunks)
+        if have >= need:
+            return
+        # One tight comprehension with pre-bound locals: this path emits
+        # the PSU mask streams (80 KB per query at b = 10k), so per-block
+        # Python overhead is measurable.
+        nblocks = (need - have + _BLOCK_BYTES - 1) // _BLOCK_BYTES
+        key, sha, pack = self._key, hashlib.sha256, struct.pack
+        start = self._counter
+        self._counter = start + nblocks
+        self._buffer += b"".join(
+            sha(key + pack("<Q", counter)).digest()
+            for counter in range(start, start + nblocks)
+        )
 
     def bytes(self, n: int) -> bytes:
         """Next ``n`` bytes of the stream."""

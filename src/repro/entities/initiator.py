@@ -16,6 +16,8 @@ authority.  It never touches data or results.  Its jobs:
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.core.params import (
@@ -32,6 +34,95 @@ from repro.crypto.prg import derive_seed
 from repro.crypto.shamir import DEFAULT_FIELD_PRIME
 from repro.data.domain import Domain, ProductDomain
 from repro.exceptions import ParameterError
+
+
+class IndicatorShareCache:
+    """Memoised querier indicator-share vectors (Phase-2 skip cache).
+
+    Aggregation queries spend an owner-side round Shamir-sharing the 0/1
+    intersection-indicator vector ``z`` (§6.1 Step 3).  Repeated or
+    overlapping queries — several aggregation attributes over the same
+    set attribute, a dashboard refreshing the same query — regenerate
+    byte-identical-purpose shares every time.  This cache, held by the
+    initiator as part of the deployment's query session state, memoises
+    the dealt share triple keyed by
+
+    ``(stream, querier, column, owner-subset, digest(membership))``
+
+    so a repeated query reuses the already-dealt shares instead of
+    re-running share generation.  Keying on a digest of the membership
+    vector makes staleness impossible within one outsourced snapshot
+    (different results can never collide), and the system invalidates the
+    whole cache whenever owners re-outsource (the snapshot changes).
+
+    Reusing indicator shares across queries is safe in the semi-honest
+    model reproduced here: the shares are information-theoretically
+    hiding, and reuse reveals only that two queries used the same
+    indicator — which the access pattern (same column, same round shape)
+    reveals anyway.
+
+    Args:
+        max_entries: size cap; the oldest entry is evicted when a put
+            would exceed it.  Each entry pins three full-domain int64
+            vectors (24·b bytes), so an unbounded cache would grow with
+            every distinct (querier, owner subset, membership) shape a
+            long-lived deployment serves.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ParameterError("indicator cache needs at least one slot")
+        self.max_entries = max_entries
+        self._entries: dict[tuple, list[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(stream: str, querier: int, column: str, owner_ids,
+            member: np.ndarray) -> tuple:
+        """Cache key for one indicator stream of one query."""
+        owner_key = tuple(owner_ids) if owner_ids is not None else None
+        digest = hashlib.blake2b(np.ascontiguousarray(member).tobytes(),
+                                 digest_size=16).digest()
+        return (stream, querier, column, owner_key, digest)
+
+    def get(self, key: tuple) -> list[np.ndarray] | None:
+        """The cached share triple, counting the hit/miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, shares: list[np.ndarray]) -> None:
+        """Store a dealt share triple (arrays are frozen against mutation).
+
+        Evicts the oldest entry when the cap is reached (dicts iterate in
+        insertion order, so the first key is the oldest).
+        """
+        for share in shares:
+            share.setflags(write=False)
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = list(shares)
+
+    def invalidate(self) -> None:
+        """Drop every entry (owners re-outsourced; the snapshot changed)."""
+        self._entries.clear()
+        self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "invalidations": self.invalidations,
+                "evictions": self.evictions}
 
 
 class Initiator:
@@ -96,6 +187,10 @@ class Initiator:
         rng = np.random.default_rng(derive_seed(seed, "m-shares"))
         first = int(rng.integers(0, self.delta))
         self._m_shares = [first, (num_owners - first) % self.delta]
+
+        # Query-session state: memoised indicator shares for Phase-2 reuse
+        # (batched and repeated aggregation queries).
+        self.indicator_cache = IndicatorShareCache()
 
     # -- dealing ------------------------------------------------------------
 

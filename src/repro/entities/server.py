@@ -240,6 +240,191 @@ class PrismServer:
         _run_chunked(kernel, n, num_threads)
         return acc
 
+    # -- batched 2-D kernels (multi-query fused sweeps) ------------------------
+
+    @staticmethod
+    def _check_uniform(columns, share_lists) -> tuple[int, int]:
+        """Validate a fused sweep's inputs; returns (num_owners, b).
+
+        Every column must be held by the same owner set and have the same
+        χ length — a fused sweep sums a fixed set of share vectors per
+        row, so mixed shapes are a planner bug.  The kernels slice the
+        stored 1-D vectors chunk by chunk rather than stacking them into
+        per-owner matrices: no copies of the χ table are materialised.
+        """
+        counts = {len(s) for s in share_lists}
+        if len(counts) != 1:
+            raise ProtocolError(
+                f"batched sweep needs a uniform owner set across columns "
+                f"{list(columns)!r}; got share counts {sorted(counts)}"
+            )
+        lengths = {s[0].shape[0] for s in share_lists}
+        if len(lengths) != 1:
+            raise ProtocolError(
+                f"batched sweep needs equal-length columns; got {sorted(lengths)}"
+            )
+        return counts.pop(), lengths.pop()
+
+    def _batch_m_shares(self, subtract_m, num_owners, owner_ids) -> np.ndarray:
+        """Per-row ``A(m)`` column vector for a fused Eq. 3/Eq. 7 sweep."""
+        m_share = self.params.m_share
+        if owner_ids is not None and num_owners != self.params.num_owners:
+            m_share = self._subset_m_share(num_owners)
+        rows = np.fromiter((m_share if flag else 0 for flag in subtract_m),
+                           dtype=np.int64, count=len(subtract_m))
+        return rows[:, None]
+
+    def psi_round_batch(self, columns, num_threads: int = 1,
+                        owner_ids: list[int] | None = None,
+                        subtract_m=None) -> np.ndarray:
+        """Fused multi-query Eq. 3 / Eq. 7 sweep (2-D :meth:`psi_round`).
+
+        Row ``q`` of the returned ``(Q, b)`` matrix is bit-identical to
+        ``psi_round(columns[q])`` when ``subtract_m[q]`` is true (the
+        default) and to ``verification_round(columns[q])`` otherwise, but
+        all rows are produced by a *single* chunked pass over the χ length:
+        every row's per-owner share vectors are summed into one 2-D
+        accumulator, then reduced and exponentiated together.  The sweep
+        stays
+        branch-free over the full table, so access-pattern hiding is
+        preserved — the instruction sequence depends only on the batch
+        shape, never on the data.
+        """
+        if not len(columns):
+            raise ProtocolError("batched PSI sweep needs at least one column")
+        if subtract_m is None:
+            subtract_m = [True] * len(columns)
+        if len(subtract_m) != len(columns):
+            raise ProtocolError("subtract_m flags must match the column count")
+        share_lists = [self.fetch_additive(c, owner_ids) for c in columns]
+        num_owners, n = self._check_uniform(columns, share_lists)
+        delta = self.params.delta
+        table = self.params.group.power_table
+        m_rows = self._batch_m_shares(subtract_m, num_owners, owner_ids)
+        acc = np.zeros((len(columns), n), dtype=np.int64)
+        out = np.empty_like(acc)
+
+        def kernel(lo: int, hi: int) -> None:
+            local = acc[:, lo:hi]
+            for q, row_shares in enumerate(share_lists):
+                row = local[q]
+                for s in row_shares:
+                    row += s[lo:hi]
+            local -= m_rows
+            np.mod(local, delta, out=local)
+            out[:, lo:hi] = table[local]
+
+        _run_chunked(kernel, n, num_threads)
+        return out
+
+    def count_round_batch(self, columns, num_threads: int = 1,
+                          owner_ids: list[int] | None = None,
+                          subtract_m=None, use_pf_s2=None) -> np.ndarray:
+        """Fused multi-query §6.5 sweep (2-D :meth:`count_round`).
+
+        Data-stream rows (``subtract_m`` true, the default) leave permuted
+        by ``PF_s1``; complement-proof rows (``subtract_m`` false with
+        ``use_pf_s2`` true) by ``PF_s2`` — exactly the Eq. (1) pairing of
+        :meth:`count_round` / :meth:`count_verification_round`, per row.
+        """
+        out = self.psi_round_batch(columns, num_threads, owner_ids, subtract_m)
+        if use_pf_s2 is None:
+            use_pf_s2 = [False] * len(columns)
+        if len(use_pf_s2) != len(columns):
+            raise ProtocolError("use_pf_s2 flags must match the column count")
+        for row, flag in enumerate(use_pf_s2):
+            pf = self.params.pf_s2 if flag else self.params.pf_s1
+            out[row] = pf.apply(out[row])
+        return out
+
+    def psu_round_batch(self, columns, query_nonces, num_threads: int = 1,
+                        owner_ids: list[int] | None = None,
+                        permute=None) -> np.ndarray:
+        """Fused multi-query Eq. 18 sweep (2-D :meth:`psu_round`).
+
+        Row ``q`` equals ``psu_round(columns[q], query_nonces[q])`` — each
+        query keeps its own fresh mask stream — but the owner-share sums
+        are computed once per *distinct* column and broadcast across the
+        rows that reference it.  ``permute[q]`` additionally applies
+        ``PF_s1`` to row ``q`` (the PSU-Count path).
+        """
+        if not len(columns):
+            raise ProtocolError("batched PSU sweep needs at least one column")
+        if len(query_nonces) != len(columns):
+            raise ProtocolError("query_nonces must match the column count")
+        uniq = list(dict.fromkeys(columns))
+        row_map = np.fromiter((uniq.index(c) for c in columns),
+                              dtype=np.int64, count=len(columns))
+        share_lists = [self.fetch_additive(c, owner_ids) for c in uniq]
+        _, n = self._check_uniform(uniq, share_lists)
+        delta = self.params.delta
+        rand = np.stack([
+            SeededPRG(self.params.prg_seed, f"psu-{nonce}").integers(n, 1, delta)
+            for nonce in query_nonces
+        ])
+        acc = np.zeros((len(uniq), n), dtype=np.int64)
+        out = np.empty((len(columns), n), dtype=np.int64)
+
+        def kernel(lo: int, hi: int) -> None:
+            local = acc[:, lo:hi]
+            for u, col_shares in enumerate(share_lists):
+                row = local[u]
+                for s in col_shares:
+                    row += s[lo:hi]
+            np.mod(local, delta, out=local)
+            out[:, lo:hi] = np.mod(local[row_map] * rand[:, lo:hi], delta)
+
+        _run_chunked(kernel, n, num_threads)
+        if permute is not None:
+            if len(permute) != len(columns):
+                raise ProtocolError("permute flags must match the column count")
+            for row, flag in enumerate(permute):
+                if flag:
+                    out[row] = self.params.pf_s1.apply(out[row])
+        return out
+
+    def aggregate_round_batch(self, columns, z_matrix: np.ndarray,
+                              num_threads: int = 1,
+                              owner_ids: list[int] | None = None) -> np.ndarray:
+        """Fused multi-query Eq. 11 sweep (2-D :meth:`aggregate_round`).
+
+        ``z_matrix`` stacks one indicator-share vector per query row;
+        ``columns[q]`` names the Shamir aggregation column row ``q``
+        multiplies into.  Row ``q`` is bit-identical to
+        ``aggregate_round(columns[q], z_matrix[q])``.
+        """
+        if not len(columns):
+            raise ProtocolError("batched aggregation needs at least one column")
+        z_matrix = np.asarray(z_matrix, dtype=np.int64)
+        if z_matrix.ndim != 2 or z_matrix.shape[0] != len(columns):
+            raise ProtocolError(
+                f"z matrix of shape {z_matrix.shape} does not stack one row "
+                f"per column ({len(columns)} expected)"
+            )
+        share_lists = [self.fetch_shamir(c, owner_ids) for c in columns]
+        _, n = self._check_uniform(columns, share_lists)
+        if z_matrix.shape[1] != n:
+            raise ProtocolError(
+                f"z vector length {z_matrix.shape[1]} does not match column "
+                f"length {n}"
+            )
+        p = self.params.field_prime
+        acc = np.zeros((len(columns), n), dtype=np.int64)
+
+        def kernel(lo: int, hi: int) -> None:
+            local = acc[:, lo:hi]
+            for q, row_shares in enumerate(share_lists):
+                z = z_matrix[q, lo:hi]
+                row = local[q]
+                for s in row_shares:
+                    # p < 2**31 keeps each product below 2**62; reduce per
+                    # term.
+                    row += np.mod(s[lo:hi] * z, p)
+                    np.mod(row, p, out=row)
+
+        _run_chunked(kernel, n, num_threads)
+        return acc
+
     # -- extrema machinery (§6.3) ---------------------------------------------
 
     def extrema_collect(self, owner_shares: dict[int, int]) -> list[int]:

@@ -5,6 +5,7 @@ deployable system ships bytes.  This codec defines a compact, versioned
 binary encoding for every payload type the protocols send:
 
 * int64 share vectors (the χ/aggregation streams),
+* int64 share matrices (the fused multi-query batch streams, 2-D),
 * arbitrary-precision integers (extrema shares),
 * lists of big ints (announcer arrays, fpos vectors),
 * share-pair tuples and string-keyed dicts of any of the above.
@@ -34,6 +35,7 @@ _TAG_DICT = 4
 _TAG_TUPLE = 5
 _TAG_NONE = 6
 _TAG_STR = 7
+_TAG_MATRIX = 8
 
 
 def encode(payload) -> bytes:
@@ -49,8 +51,15 @@ def _encode_body(payload) -> bytes:
     if payload is None:
         return struct.pack("<B", _TAG_NONE)
     if isinstance(payload, np.ndarray):
+        if payload.ndim == 2:
+            data = np.ascontiguousarray(payload, dtype=np.int64).tobytes()
+            return struct.pack("<BQQ", _TAG_MATRIX, payload.shape[0],
+                               payload.shape[1]) + data
         if payload.ndim != 1:
-            raise ProtocolError("only 1-D share vectors travel on the wire")
+            raise ProtocolError(
+                "only 1-D share vectors and 2-D batch matrices travel on "
+                "the wire"
+            )
         data = np.ascontiguousarray(payload, dtype=np.int64).tobytes()
         return struct.pack("<BQ", _TAG_VECTOR, payload.shape[0]) + data
     if isinstance(payload, bool):
@@ -123,6 +132,17 @@ def _decode_body(blob: bytes, offset: int):
             raise ProtocolError("truncated share vector")
         vector = np.frombuffer(blob[offset:end], dtype="<i8").astype(np.int64)
         return vector, end
+    if tag == _TAG_MATRIX:
+        try:
+            rows, cols = struct.unpack_from("<QQ", blob, offset)
+        except struct.error:
+            raise ProtocolError("truncated share matrix header") from None
+        offset += 16
+        end = offset + 8 * rows * cols
+        if end > len(blob):
+            raise ProtocolError("truncated share matrix")
+        matrix = np.frombuffer(blob[offset:end], dtype="<i8").astype(np.int64)
+        return matrix.reshape(rows, cols), end
     if tag == _TAG_BIGINT:
         negative, length = struct.unpack_from("<BQ", blob, offset)
         offset += 9

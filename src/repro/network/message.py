@@ -35,6 +35,26 @@ class Endpoint:
         return f"{self.role.value}{self.index}"
 
 
+#: Prefix of the ``kind`` label carried by fused multi-query streams.
+BATCH_KIND_PREFIX = "batch"
+
+
+def batch_kind(stream: str, num_queries: int) -> str:
+    """Wire ``kind`` label for a fused multi-query stream.
+
+    Batched rounds ship one 2-D matrix where the sequential protocol ships
+    ``num_queries`` vectors; labelling the stream (e.g.
+    ``"batch:psi-output[8]"``) keeps the traffic accounting attributable —
+    experiments can still split batched from sequential traffic.
+    """
+    return f"{BATCH_KIND_PREFIX}:{stream}[{num_queries}]"
+
+
+def is_batch_kind(kind: str) -> bool:
+    """Whether a recorded message kind names a fused multi-query stream."""
+    return kind.startswith(BATCH_KIND_PREFIX + ":")
+
+
 def payload_nbytes(payload) -> int:
     """Approximate wire size of a message payload in bytes.
 

@@ -17,25 +17,38 @@ from repro.network.message import Endpoint, Message, Role, payload_nbytes
 
 
 class TrafficStats:
-    """Aggregated traffic counters, grouped by (sender role, receiver role)."""
+    """Aggregated traffic counters, grouped by (sender role, receiver role).
+
+    The full message log is retained for inspection, but the aggregate
+    counters are maintained incrementally so :meth:`summary` stays O(1) —
+    the per-query result objects snapshot it, and a long-lived serving
+    deployment must not slow down as its transcript grows.
+    """
 
     def __init__(self):
         self.messages: list[Message] = []
         self.rounds = 0
+        self._total_bytes = 0
+        self._bytes_by_pair: dict[tuple[Role, Role], int] = {}
+
+    def record(self, message: Message) -> None:
+        """Append one transfer to the log and the running counters."""
+        self.messages.append(message)
+        self._total_bytes += message.nbytes
+        pair = (message.sender.role, message.receiver.role)
+        self._bytes_by_pair[pair] = (
+            self._bytes_by_pair.get(pair, 0) + message.nbytes)
 
     @property
     def total_bytes(self) -> int:
-        return sum(m.nbytes for m in self.messages)
+        return self._total_bytes
 
     @property
     def total_messages(self) -> int:
         return len(self.messages)
 
     def bytes_between(self, sender_role: Role, receiver_role: Role) -> int:
-        return sum(
-            m.nbytes for m in self.messages
-            if m.sender.role is sender_role and m.receiver.role is receiver_role
-        )
+        return self._bytes_by_pair.get((sender_role, receiver_role), 0)
 
     def summary(self) -> dict[str, int]:
         """Compact dict for experiment reports."""
@@ -85,10 +98,9 @@ class LocalTransport:
         if self.serialize:
             from repro.network.codec import decode, encode
             blob = encode(payload)
-            self.stats.messages.append(Message(sender, receiver, kind,
-                                               len(blob)))
+            self.stats.record(Message(sender, receiver, kind, len(blob)))
             return decode(blob)
-        self.stats.messages.append(
+        self.stats.record(
             Message(sender, receiver, kind, payload_nbytes(payload))
         )
         return payload

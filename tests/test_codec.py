@@ -87,9 +87,30 @@ class TestValidation:
         with pytest.raises(ProtocolError):
             decode(blob)
 
-    def test_2d_array_rejected(self):
+    def test_matrix_roundtrip(self):
+        """2-D batch matrices (fused multi-query streams) are a wire type."""
+        matrix = np.arange(12, dtype=np.int64).reshape(3, 4) - 5
+        decoded = decode(encode(matrix))
+        assert decoded.shape == (3, 4)
+        assert np.array_equal(decoded, matrix)
+
+    def test_empty_matrix_roundtrip(self):
+        decoded = decode(encode(np.zeros((0, 7), dtype=np.int64)))
+        assert decoded.shape == (0, 7)
+
+    def test_truncated_matrix(self):
+        blob = encode(np.ones((4, 4), dtype=np.int64))
         with pytest.raises(ProtocolError):
-            encode(np.zeros((2, 2), dtype=np.int64))
+            decode(blob[:-8])
+
+    def test_truncated_matrix_header(self):
+        blob = encode(np.ones((2, 2), dtype=np.int64))
+        with pytest.raises(ProtocolError):
+            decode(blob[:6])
+
+    def test_3d_array_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode(np.zeros((2, 2, 2), dtype=np.int64))
 
     def test_bool_rejected(self):
         with pytest.raises(ProtocolError):
