@@ -3,16 +3,29 @@ Multi-Owner Outsourced Databases* (Li et al., SIGMOD 2021).
 
 Public API highlights:
 
+* :class:`repro.PrismClient` — the session-style query API: every query
+  form (SQL, fluent :class:`repro.Q` builders, dicts, legacy specs)
+  lowers to one :class:`repro.LogicalPlan` IR and runs through one
+  executor (:mod:`repro.api`).
 * :class:`repro.PrismSystem` — a full in-process deployment (owners,
   servers, announcer) with one method per supported query.
 * :class:`repro.Relation` / :class:`repro.Domain` — the data substrate.
-* :func:`repro.run_query` — the SQL dialect of Table 4.
+* :func:`repro.run_query` — the SQL dialect of Table 4 (with
+  multi-aggregate projections and the ``EXPLAIN`` prefix).
 * :mod:`repro.baselines` — from-scratch comparison systems (Paillier,
   Freedman PSI, Bloom-filter PSI, plaintext).
 * :mod:`repro.bench` — the experiment harness regenerating every figure
   and table of the paper's evaluation (§8).
 """
 
+from repro.api import (
+    Executor,
+    LogicalPlan,
+    Planner,
+    PrismClient,
+    Q,
+    parse_sql,
+)
 from repro.core.batch import BatchQuery, QueryBatch, run_batch
 from repro.core.query import parse_query, run_query
 from repro.core.results import (
@@ -44,14 +57,19 @@ __all__ = [
     "CountResult",
     "Domain",
     "DomainError",
+    "Executor",
     "HashedDomain",
     "ExtremaResult",
+    "LogicalPlan",
     "MedianResult",
     "ParameterError",
+    "Planner",
+    "PrismClient",
     "PrismError",
     "PrismSystem",
     "ProductDomain",
     "ProtocolError",
+    "Q",
     "QueryBatch",
     "QueryError",
     "Relation",
@@ -59,6 +77,7 @@ __all__ = [
     "ShareError",
     "VerificationError",
     "parse_query",
+    "parse_sql",
     "read_relation_csv",
     "run_batch",
     "run_query",

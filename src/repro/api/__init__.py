@@ -1,0 +1,25 @@
+"""The unified query API: plan IR, fluent builder, planner, executor.
+
+One lowering path and one executor for every way of expressing a Prism
+query — see :mod:`repro.api.plan` for the IR, :mod:`repro.api.executor`
+for the dispatch table, and :class:`repro.api.client.PrismClient` for
+the session-style surface most callers want.
+"""
+
+from repro.api.builder import Q
+from repro.api.client import PrismClient
+from repro.api.executor import Executor
+from repro.api.plan import LogicalPlan, PlanUnit
+from repro.api.planner import Planner
+from repro.api.sql import parse_sql, split_explain
+
+__all__ = [
+    "Executor",
+    "LogicalPlan",
+    "PlanUnit",
+    "Planner",
+    "PrismClient",
+    "Q",
+    "parse_sql",
+    "split_explain",
+]

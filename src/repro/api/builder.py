@@ -1,0 +1,126 @@
+"""The fluent query builder: ``Q.psi("disease").sum("cost").verify()``.
+
+Each method returns a *new* builder (builders are immutable), so partial
+queries can be shared and extended safely::
+
+    base = Q.psi("disease").owners([0, 1])
+    costs = base.sum("cost")
+    both = base.sum("cost").avg("age").verify()
+
+``.plan()`` lowers the builder to the frozen
+:class:`~repro.api.plan.LogicalPlan`; the :class:`~repro.api.planner.Planner`
+and :class:`~repro.api.client.PrismClient` accept builders directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.api.plan import LogicalPlan
+
+
+@dataclasses.dataclass(frozen=True)
+class Q:
+    """Immutable fluent builder over :class:`LogicalPlan` fields.
+
+    Start with :meth:`Q.psi` or :meth:`Q.psu`; chain aggregates and
+    flags; finish with :meth:`plan` (or hand the builder to a planner /
+    client, which calls it for you).
+    """
+
+    _set_op: str
+    _attribute: str | tuple
+    _aggregates: tuple = ()
+    _verify: bool = False
+    _reveal_holders: bool = True
+    _bucketized: bool = False
+    _owner_ids: tuple | None = None
+    _querier: int = 0
+
+    # -- roots ----------------------------------------------------------------
+
+    @classmethod
+    def psi(cls, attribute: str | tuple) -> "Q":
+        """A private set intersection over ``attribute``."""
+        return cls("psi", attribute)
+
+    @classmethod
+    def psu(cls, attribute: str | tuple) -> "Q":
+        """A private set union over ``attribute``."""
+        return cls("psu", attribute)
+
+    # -- aggregates -----------------------------------------------------------
+
+    def _with(self, **changes) -> "Q":
+        return dataclasses.replace(self, **changes)
+
+    def _add_aggregates(self, fn: str, attrs: tuple) -> "Q":
+        added = tuple((fn, a) for a in attrs)
+        return self._with(_aggregates=self._aggregates + added)
+
+    def count(self) -> "Q":
+        """Cardinality of the set result (§6.5)."""
+        return self._with(_aggregates=self._aggregates + (("COUNT", None),))
+
+    def sum(self, *attributes: str) -> "Q":
+        """Per-value SUM of each attribute (§6.1; multi per Table 12)."""
+        return self._add_aggregates("SUM", attributes)
+
+    def avg(self, *attributes: str) -> "Q":
+        """Per-value AVG of each attribute (§6.2)."""
+        return self._add_aggregates("AVG", attributes)
+
+    def max(self, attribute: str) -> "Q":
+        """Per-value maximum (§6.3, announcer-interactive)."""
+        return self._add_aggregates("MAX", (attribute,))
+
+    def min(self, attribute: str) -> "Q":
+        """Per-value minimum (§6.3 with FindMin)."""
+        return self._add_aggregates("MIN", (attribute,))
+
+    def median(self, attribute: str) -> "Q":
+        """Median across owners of per-owner group totals (§6.4)."""
+        return self._add_aggregates("MEDIAN", (attribute,))
+
+    # -- flags ----------------------------------------------------------------
+
+    def verify(self, flag: bool = True) -> "Q":
+        """Request result verification (validated per kind at lowering)."""
+        return self._with(_verify=flag)
+
+    def reveal_holders(self, flag: bool = True) -> "Q":
+        """Toggle the §6.3 identity round for MAX/MIN."""
+        return self._with(_reveal_holders=flag)
+
+    def bucketized(self, flag: bool = True) -> "Q":
+        """Route a plain PSI through the §6.6 bucket tree."""
+        return self._with(_bucketized=flag)
+
+    def owners(self, owner_ids) -> "Q":
+        """Restrict the query to a subset of owners."""
+        return self._with(_owner_ids=tuple(owner_ids))
+
+    def querier(self, owner_id: int) -> "Q":
+        """Pick the owner that finalises the result."""
+        return self._with(_querier=owner_id)
+
+    # -- lowering -------------------------------------------------------------
+
+    def plan(self) -> LogicalPlan:
+        """Lower to the frozen IR (validates the combination)."""
+        return LogicalPlan(
+            set_op=self._set_op,
+            attribute=self._attribute,
+            aggregates=self._aggregates,
+            verify=self._verify,
+            reveal_holders=self._reveal_holders,
+            bucketized=self._bucketized,
+            owner_ids=self._owner_ids,
+            querier=self._querier,
+        )
+
+    build = plan
+
+    def describe(self) -> str:
+        """The lowered plan's one-line description."""
+        return self.plan().describe()

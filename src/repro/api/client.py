@@ -1,0 +1,154 @@
+"""The session-style client — the recommended query API.
+
+:class:`PrismClient` wraps a deployed
+:class:`~repro.core.system.PrismSystem` behind the unified plan IR /
+executor path and keeps per-session accounting::
+
+    from repro import PrismClient, Q
+
+    client = PrismClient.connect(relations, domain, "disease",
+                                 agg_attributes=("cost", "age"))
+    client.execute("SELECT disease FROM h1 INTERSECT SELECT disease FROM h2")
+    client.execute(Q.psi("disease").sum("cost").avg("age").verify())
+    client.execute("EXPLAIN SELECT disease FROM h1 UNION SELECT disease FROM h2")
+    client.execute_many([Q.psi("disease"), Q.psu("disease").count()])
+    client.stats  # queries by kind, batched vs interactive units, traffic
+
+Every query — SQL, builder, dict, legacy spec — reaches the same
+executor, so single queries run through the fused batch kernels and the
+indicator-share cache exactly like explicit batches do.
+"""
+
+from __future__ import annotations
+
+from repro.api.executor import Executor
+from repro.api.planner import Planner
+from repro.api.sql import split_explain
+
+
+class PrismClient:
+    """A query session over one Prism deployment.
+
+    Args:
+        system: a deployed (outsourced) :class:`PrismSystem`.
+        num_threads: default server-side thread count for this session
+            (``None``: the system's own default).
+    """
+
+    def __init__(self, system, num_threads: int | None = None):
+        self.system = system
+        self.num_threads = num_threads
+        self.planner = Planner()
+        self.executor = Executor(system, planner=self.planner)
+        self._queries = 0
+        self._explains = 0
+        self._by_kind: dict[str, int] = {}
+        self._batched_units = 0
+        self._interactive_units = 0
+        self._traffic_bytes = 0
+        self._traffic_messages = 0
+
+    @classmethod
+    def connect(cls, relations, domain, psi_attribute, agg_attributes=(),
+                num_threads: int | None = None, **build_kwargs
+                ) -> "PrismClient":
+        """Build + outsource a deployment and open a session on it."""
+        from repro.core.system import PrismSystem
+        system = PrismSystem.build(relations, domain, psi_attribute,
+                                   agg_attributes=agg_attributes,
+                                   **build_kwargs)
+        return cls(system, num_threads=num_threads)
+
+    # -- queries --------------------------------------------------------------
+
+    def execute(self, query, num_threads: int | None = None,
+                **runner_options):
+        """Run one query of any supported form.
+
+        SQL strings may carry an ``EXPLAIN`` prefix, in which case the
+        plan's description is returned and nothing executes.
+        """
+        if isinstance(query, str):
+            explain, text = split_explain(query)
+            if explain:
+                return self.explain(text)
+        plan = self.planner.lower(query)
+        with self._accounted([plan]):
+            return self.executor.execute(
+                plan, num_threads=self._threads(num_threads),
+                **runner_options)
+
+    def execute_many(self, queries, num_threads: int | None = None) -> list:
+        """Run many queries; batchable units fuse into one server batch."""
+        plans = self.planner.lower_many(queries)
+        with self._accounted(plans):
+            return self.executor.execute_many(
+                plans, num_threads=self._threads(num_threads))
+
+    def explain(self, query) -> str:
+        """The plan's description + dispatch routes, without executing."""
+        if isinstance(query, str):
+            _, query = split_explain(query)
+        text = self.executor.explain(query)
+        self._explains += 1  # failed explains stay uncounted, like queries
+        return text
+
+    def describe(self, query) -> str:
+        """Just the plan's logical description (no routing detail)."""
+        if isinstance(query, str):
+            _, query = split_explain(query)
+        return self.planner.lower(query).describe()
+
+    # -- session accounting ---------------------------------------------------
+
+    def _threads(self, num_threads: int | None) -> int | None:
+        return num_threads if num_threads is not None else self.num_threads
+
+    def _accounted(self, plans):
+        return _Accounting(self, plans)
+
+    @property
+    def stats(self) -> dict:
+        """Per-session counters: queries, unit routing, traffic, cache."""
+        cache = getattr(getattr(self.system, "initiator", None),
+                        "indicator_cache", None)
+        return {
+            "queries": self._queries,
+            "explains": self._explains,
+            "by_kind": dict(self._by_kind),
+            "batched_units": self._batched_units,
+            "interactive_units": self._interactive_units,
+            "traffic": {"messages": self._traffic_messages,
+                        "bytes": self._traffic_bytes},
+            "cache": dict(cache.stats) if cache is not None else {},
+        }
+
+
+class _Accounting:
+    """Context manager folding one executor call into session stats."""
+
+    def __init__(self, client: PrismClient, plans):
+        self.client = client
+        self.plans = plans
+
+    def __enter__(self):
+        stats = self.client.system.transport.stats
+        self._bytes = stats.total_bytes
+        self._messages = stats.total_messages
+        return self
+
+    def __exit__(self, exc_type, *exc_info):
+        client = self.client
+        stats = client.system.transport.stats
+        client._traffic_bytes += stats.total_bytes - self._bytes
+        client._traffic_messages += stats.total_messages - self._messages
+        if exc_type is None:
+            client._queries += len(self.plans)
+            for plan in self.plans:
+                for unit in plan.units():
+                    client._by_kind[unit.kind] = (
+                        client._by_kind.get(unit.kind, 0) + 1)
+            dispatch = client.executor.last_dispatch
+            client._batched_units += dispatch["batched_units"]
+            client._interactive_units += dispatch["interactive_units"]
+        return False

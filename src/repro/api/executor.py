@@ -1,0 +1,202 @@
+"""One executor for every logical plan.
+
+Every :class:`~repro.api.plan.LogicalPlan` — however it was expressed —
+runs through a single dispatch table:
+
+* **Batchable units** (``psi``, ``psu``, counts, SUM/AVG) are lowered to
+  :class:`~repro.core.batch.BatchQuery` rows and executed through
+  :class:`~repro.core.batch.QueryBatch` — *single queries run as a batch
+  of one*, so the fused 2-D server kernels and the indicator-share cache
+  serve all traffic, not just explicit batches.
+* **Interactive units** (MAX/MIN/MEDIAN, bucketized PSI) cannot be
+  expressed as data-independent fused sweeps; the same dispatch table
+  routes them to their announcer-interactive runners.
+
+``execute_many`` fuses the batchable units of *all* submitted plans into
+one :class:`QueryBatch`, so heterogeneous multi-query traffic gets the
+full sweep-fusion and row-deduplication treatment.
+
+Result shapes (the canonical API surface):
+
+* no aggregates → :class:`SetResult` (bucketized: ``(SetResult, stats)``)
+* one aggregate → its result object (:class:`CountResult`,
+  :class:`AggregateResult`, :class:`ExtremaResult`, :class:`MedianResult`)
+* several aggregates → an ordered dict keyed ``"SUM(cost)"``-style.
+"""
+
+from __future__ import annotations
+
+from repro.api.plan import LogicalPlan, PlanUnit
+from repro.api.planner import Planner
+from repro.core.batch import KINDS as BATCHABLE_KINDS
+from repro.core.batch import BatchQuery, QueryBatch
+from repro.core.bucketized import run_bucketized_psi
+from repro.core.extrema import run_extrema, run_median
+from repro.exceptions import QueryError
+
+#: Unit kind → AGG function it computes (inverse of the plan lowering).
+_UNIT_FN = {
+    "psi_sum": "SUM", "psu_sum": "SUM",
+    "psi_average": "AVG", "psu_average": "AVG",
+    "psi_count": "COUNT", "psu_count": "COUNT",
+    "psi_max": "MAX", "psi_min": "MIN", "psi_median": "MEDIAN",
+}
+
+#: Marker for units executed through the fused batch engine.
+BATCHED = "batched"
+
+
+def _run_extrema_unit(kind):
+    def runner(system, plan, unit, num_threads, options):
+        return run_extrema(system, plan.attribute, unit.agg_attributes[0],
+                           kind=kind, reveal_holders=plan.reveal_holders,
+                           verify=plan.verify, num_threads=num_threads,
+                           querier=plan.querier, **options)
+    return runner
+
+
+def _run_median_unit(system, plan, unit, num_threads, options):
+    return run_median(system, plan.attribute, unit.agg_attributes[0],
+                      num_threads=num_threads, querier=plan.querier,
+                      **options)
+
+
+def _run_bucketized_unit(system, plan, unit, num_threads, options):
+    return run_bucketized_psi(system, plan.attribute,
+                              system.bucket_tree(plan.attribute),
+                              num_threads=num_threads,
+                              querier=plan.querier, **options)
+
+
+#: The single dispatch table: every unit kind, one execution route.
+DISPATCH = {kind: BATCHED for kind in BATCHABLE_KINDS}
+DISPATCH.update({
+    "psi_max": _run_extrema_unit("max"),
+    "psi_min": _run_extrema_unit("min"),
+    "psi_median": _run_median_unit,
+    "bucketized_psi": _run_bucketized_unit,
+})
+
+
+class Executor:
+    """Runs logical plans against one :class:`PrismSystem`.
+
+    Args:
+        system: the deployment to execute against.
+        planner: the lowering front door (default: a fresh
+            :class:`Planner`); injected so clients can share one.
+    """
+
+    def __init__(self, system, planner: Planner | None = None):
+        self.system = system
+        self.planner = planner or Planner()
+        #: Routing counters of the most recent run (for session stats).
+        self.last_dispatch = {"batched_units": 0, "interactive_units": 0}
+
+    # -- public surface -------------------------------------------------------
+
+    def execute(self, query, num_threads: int | None = None,
+                **runner_options):
+        """Lower and run one query; returns its canonical-shape result.
+
+        ``runner_options`` are forwarded to interactive runners only
+        (e.g. ``common_values=`` for extrema, ``announcer_driven=`` for
+        bucketized PSI); a fully-batchable plan rejects them.
+        """
+        plan = self.planner.lower(query)
+        return self._run([plan], num_threads, runner_options)[0]
+
+    def execute_many(self, queries, num_threads: int | None = None) -> list:
+        """Run many queries; batchable units fuse into one QueryBatch."""
+        plans = self.planner.lower_many(queries)
+        return self._run(plans, num_threads, {})
+
+    def explain(self, query) -> str:
+        """The plan's ``describe()`` plus its dispatch routes."""
+        plan = self.planner.lower(query)
+        routes = ", ".join(
+            f"{unit.kind}→"
+            f"{'fused batch kernel' if self._route(unit) is BATCHED else 'interactive runner'}"
+            for unit in plan.units()
+        )
+        return f"{plan.describe()} [{routes}]"
+
+    @staticmethod
+    def _route(unit: PlanUnit):
+        route = DISPATCH.get(unit.kind)
+        if route is None:
+            hint = (" (MAX/MIN/MEDIAN are only supported over PSI)"
+                    if unit.kind.startswith("psu_") else "")
+            raise QueryError(f"no dispatch route for {unit.kind!r}{hint}")
+        return route
+
+    # -- execution ------------------------------------------------------------
+
+    def _run(self, plans: list[LogicalPlan], num_threads, runner_options):
+        batch_specs: list[BatchQuery] = []
+        layouts: list[list[tuple[PlanUnit, int | None]]] = []
+        interactive_total = 0
+        for plan in plans:
+            entries: list[tuple[PlanUnit, int | None]] = []
+            for unit in plan.units():
+                route = self._route(unit)
+                if route is BATCHED:
+                    batch_specs.append(self._to_batch_query(plan, unit))
+                    entries.append((unit, len(batch_specs) - 1))
+                else:
+                    if plan.owner_ids is not None:
+                        raise QueryError(
+                            f"{unit.kind} does not support owner subsets"
+                        )
+                    interactive_total += 1
+                    entries.append((unit, None))
+            layouts.append(entries)
+        if runner_options and interactive_total == 0:
+            raise QueryError(
+                f"unsupported options {sorted(runner_options)} — the plan "
+                f"has no interactive units to forward them to"
+            )
+        batch_results: list = []
+        if batch_specs:
+            batch_results = QueryBatch(
+                self.system, batch_specs, num_threads=num_threads).execute()
+        self.last_dispatch = {"batched_units": len(batch_specs),
+                              "interactive_units": interactive_total}
+        results = []
+        for plan, entries in zip(plans, layouts):
+            unit_results = []
+            for unit, batch_index in entries:
+                if batch_index is not None:
+                    unit_results.append(batch_results[batch_index])
+                else:
+                    unit_results.append(DISPATCH[unit.kind](
+                        self.system, plan, unit, num_threads, runner_options))
+            results.append(self._shape(plan, entries, unit_results))
+        return results
+
+    @staticmethod
+    def _to_batch_query(plan: LogicalPlan, unit: PlanUnit) -> BatchQuery:
+        return BatchQuery(kind=unit.kind, attribute=plan.attribute,
+                          agg_attributes=unit.agg_attributes,
+                          verify=plan.verify, owner_ids=plan.owner_ids,
+                          querier=plan.querier)
+
+    # -- result shaping -------------------------------------------------------
+
+    def _shape(self, plan: LogicalPlan, entries, unit_results):
+        if not plan.aggregates:
+            return unit_results[0]
+        by_aggregate: dict[tuple, object] = {}
+        for (unit, _), result in zip(entries, unit_results):
+            fn = _UNIT_FN[unit.kind]
+            if fn == "COUNT":
+                by_aggregate[("COUNT", None)] = result
+            elif fn in ("SUM", "AVG"):
+                for attr in unit.agg_attributes:
+                    by_aggregate[(fn, attr)] = result[attr]
+            else:
+                by_aggregate[(fn, unit.agg_attributes[0])] = result
+        if len(plan.aggregates) == 1:
+            return by_aggregate[plan.aggregates[0]]
+        return {plan.result_key(fn, attr): by_aggregate[(fn, attr)]
+                for fn, attr in plan.aggregates}

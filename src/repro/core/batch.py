@@ -122,7 +122,7 @@ class BatchQuery:
 
     @classmethod
     def coerce(cls, query) -> "BatchQuery":
-        """Accept a BatchQuery, a Table-4 SQL string, a QueryPlan, or a dict."""
+        """Accept a BatchQuery, SQL string, plan (legacy or IR), or dict."""
         if isinstance(query, cls):
             return query
         if isinstance(query, str):
@@ -131,6 +131,12 @@ class BatchQuery:
             return cls.from_plan(query)
         if isinstance(query, dict):
             return cls(**query)
+        from repro.api.builder import Q
+        from repro.api.plan import LogicalPlan
+        if isinstance(query, Q):
+            query = query.plan()
+        if isinstance(query, LogicalPlan):
+            return cls.from_logical(query)
         raise QueryError(
             f"cannot interpret {type(query).__name__} as a batch query"
         )
@@ -139,19 +145,18 @@ class BatchQuery:
     def from_plan(cls, plan: QueryPlan) -> "BatchQuery":
         """Translate a parsed Table-4 statement into a batch query.
 
-        Mirrors :meth:`QueryPlan.execute` exactly, including the shapes
-        where that method quietly drops ``verify`` (plain PSU and
-        PSU-Count have no verification stream in the sequential API).
+        The ``verify`` flag is carried for every kind (the legacy
+        dispatch dropped it for PSU); kinds with no verification stream
+        (PSU-Count) reject it loudly in :meth:`__post_init__` instead of
+        dropping it silently.
         """
         if plan.aggregate is None:
-            verify = plan.verify if plan.set_op == "psi" else False
             return cls(kind=plan.set_op, attribute=plan.attribute,
-                       verify=verify)
+                       verify=plan.verify)
         fn, attr = plan.aggregate
         if fn == "COUNT":
-            verify = plan.verify if plan.set_op == "psi" else False
             return cls(kind=f"{plan.set_op}_count", attribute=plan.attribute,
-                       verify=verify)
+                       verify=plan.verify)
         if fn == "SUM":
             return cls(kind=f"{plan.set_op}_sum", attribute=plan.attribute,
                        agg_attributes=(attr,), verify=plan.verify)
@@ -164,27 +169,53 @@ class BatchQuery:
             f"run them through the per-query API"
         )
 
+    @classmethod
+    def from_logical(cls, plan) -> "BatchQuery":
+        """Translate a single-unit batchable :class:`LogicalPlan`."""
+        units = plan.units()
+        if len(units) != 1 or units[0].kind not in KINDS:
+            raise QueryError(
+                f"plan {plan.describe()!r} does not lower to one batchable "
+                f"query; submit it through the Executor / PrismClient"
+            )
+        unit = units[0]
+        return cls(kind=unit.kind, attribute=plan.attribute,
+                   agg_attributes=unit.agg_attributes, verify=plan.verify,
+                   owner_ids=plan.owner_ids, querier=plan.querier)
+
     def run_sequential(self, system, num_threads: int | None = None):
-        """Execute this query through the sequential per-query API.
+        """Execute this query through the sequential 1-D runners.
 
         The batch engine's correctness oracle: ``run_batch`` must return
-        results identical to mapping this over the batch.
+        results identical to mapping this over the batch.  Calls the
+        runners directly — NOT the ``PrismSystem`` methods, which are
+        themselves shims over the batched path since the unified-API
+        redesign (going through them would compare the batch engine
+        against itself).
         """
+        from repro.core.aggregate import run_aggregate
+        from repro.core.count import run_psi_count, run_psu_count
+        from repro.core.psi import run_psi
+        from repro.core.psu import run_psu
         kwargs = {"num_threads": num_threads, "querier": self.querier,
                   "owner_ids": list(self.owner_ids)
                   if self.owner_ids is not None else None}
         if self.kind == "psi":
-            return system.psi(self.attribute, verify=self.verify, **kwargs)
+            return run_psi(system, self.attribute, verify=self.verify,
+                           **kwargs)
         if self.kind == "psu":
-            return system.psu(self.attribute, verify=self.verify, **kwargs)
+            return run_psu(system, self.attribute, verify=self.verify,
+                           **kwargs)
         if self.kind == "psi_count":
-            return system.psi_count(self.attribute, verify=self.verify,
-                                    **kwargs)
+            return run_psi_count(system, self.attribute, verify=self.verify,
+                                 **kwargs)
         if self.kind == "psu_count":
-            return system.psu_count(self.attribute, **kwargs)
-        runner = getattr(system, self.kind)
-        return runner(self.attribute, list(self.agg_attributes),
-                      verify=self.verify, **kwargs)
+            return run_psu_count(system, self.attribute, **kwargs)
+        over, op = self.kind.split("_")
+        return run_aggregate(system, self.attribute,
+                             list(self.agg_attributes),
+                             op="avg" if op == "average" else "sum",
+                             over=over, verify=self.verify, **kwargs)
 
 
 @dataclasses.dataclass

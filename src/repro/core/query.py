@@ -1,44 +1,38 @@
-"""A small SQL dialect for Prism queries (the Table 4 statement shapes).
+"""Legacy SQL-dialect surface (superseded by :mod:`repro.api`).
 
-The paper expresses its operations as multi-branch ``INTERSECT``/``UNION``
-statements (Table 4).  This module parses a compact, equivalent dialect
-into a :class:`QueryPlan` and executes it against a
-:class:`~repro.core.system.PrismSystem`:
+Historically this module owned both the Table-4 SQL grammar and a
+per-kind ``QueryPlan.execute`` dispatch.  The grammar now lives in
+:mod:`repro.api.sql` (where it gained multi-aggregate projections and
+the ``EXPLAIN`` prefix) and execution is the unified
+:class:`~repro.api.executor.Executor`; what remains here is the
+backwards-compatible surface:
 
-* ``SELECT disease FROM h1 INTERSECT SELECT disease FROM h2 ...`` → PSI
-* ``SELECT disease FROM h1 UNION SELECT disease FROM h2 ...`` → PSU
-* ``SELECT COUNT(disease) FROM h1 INTERSECT ...`` → PSI-Count
-* ``SELECT disease, SUM(cost) FROM h1 INTERSECT ...`` → PSI-Sum
-* ``SELECT disease, MAX(age) FROM h1 INTERSECT ...`` → PSI-Max
+* :func:`parse_query` — parse into the legacy single-aggregate
+  :class:`QueryPlan` view (multi-aggregate statements need the new API).
+* :func:`run_query` — parse + execute through the unified path.  Unlike
+  the old dispatch, the ``VERIFY`` suffix is honoured for *every* kind
+  that supports verification (PSU and MAX/MIN included), and the
+  ``EXPLAIN`` prefix returns the plan's description without executing.
 
-Supported aggregate functions: COUNT, SUM, AVG, MAX, MIN, MEDIAN.  All
-branches must project the same attribute(s) — Prism's set operations are
-defined over a common attribute (§2).  Append ``VERIFY`` to request result
-verification where supported.
+New code should use :class:`repro.api.PrismClient` (or
+:func:`repro.api.parse_sql` for the full dialect).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import re
 
 from repro.exceptions import QueryError
-
-_AGG_FUNCTIONS = ("COUNT", "SUM", "AVG", "MAX", "MIN", "MEDIAN")
-
-_BRANCH_RE = re.compile(
-    r"^\s*SELECT\s+(?P<projection>.+?)\s+FROM\s+(?P<table>\w+)\s*$",
-    re.IGNORECASE,
-)
-_AGG_RE = re.compile(
-    r"^(?P<fn>" + "|".join(_AGG_FUNCTIONS) + r")\s*\(\s*(?P<attr>\w+)\s*\)$",
-    re.IGNORECASE,
-)
 
 
 @dataclasses.dataclass(frozen=True)
 class QueryPlan:
-    """A parsed Prism query.
+    """A parsed Prism query (legacy single-aggregate view).
+
+    Superseded by :class:`repro.api.LogicalPlan`, which carries several
+    aggregates, owner subsets, and the bucketized flag; kept because the
+    one-aggregate shape is a convenient stable surface for existing
+    callers.
 
     Attributes:
         set_op: ``"psi"`` or ``"psu"``.
@@ -55,127 +49,72 @@ class QueryPlan:
     tables: tuple[str, ...]
     verify: bool = False
 
+    def to_logical(self):
+        """Lower to the unified IR (carries ``verify`` for every kind)."""
+        from repro.api.planner import Planner
+        return Planner().lower(self)
+
     def describe(self) -> str:
         """One-line human-readable plan (an EXPLAIN of sorts)."""
-        op = {"psi": "PSI", "psu": "PSU"}[self.set_op]
-        if self.aggregate is None:
-            core = op
-        elif self.aggregate[0] == "COUNT":
-            core = f"{op} Count"
-        else:
-            core = f"{op} {self.aggregate[0].title()}({self.aggregate[1]})"
-        suffix = " with verification" if self.verify else ""
-        return (f"{core} on {self.attribute!r} across "
-                f"{len(self.tables)} owners{suffix}")
+        return self.to_logical().describe()
 
     def execute(self, system):
-        """Run the plan against a :class:`PrismSystem`.
+        """Run the plan through the unified executor.
 
-        Returns the protocol result object matching the plan kind.
+        Returns the protocol result object matching the plan kind.  The
+        ``verify`` flag is honoured everywhere it is supported — the old
+        per-kind dispatch silently dropped it for PSU and MAX/MIN.
         """
-        if self.aggregate is None:
-            if self.set_op == "psi":
-                return system.psi(self.attribute, verify=self.verify)
-            return system.psu(self.attribute)
-        fn, attr = self.aggregate
-        if fn == "COUNT":
-            if self.set_op == "psi":
-                return system.psi_count(self.attribute, verify=self.verify)
-            return system.psu_count(self.attribute)
-        if fn == "SUM":
-            runner = system.psi_sum if self.set_op == "psi" else system.psu_sum
-            return runner(self.attribute, attr, verify=self.verify)[attr]
-        if fn == "AVG":
-            runner = (system.psi_average if self.set_op == "psi"
-                      else system.psu_average)
-            return runner(self.attribute, attr, verify=self.verify)[attr]
-        if self.set_op != "psi":
-            raise QueryError(f"{fn} is only supported over PSI")
-        if fn == "MAX":
-            return system.psi_max(self.attribute, attr)
-        if fn == "MIN":
-            return system.psi_min(self.attribute, attr)
-        return system.psi_median(self.attribute, attr)
+        return _executor_for(system).execute(self.to_logical())
 
 
 def parse_query(sql: str) -> QueryPlan:
-    """Parse a Table-4-style statement into a :class:`QueryPlan`.
+    """Parse a Table-4-style statement into a legacy :class:`QueryPlan`.
 
     Raises:
         QueryError: on malformed input, mixed set operators, inconsistent
-            projections across branches, or unsupported aggregates.
+            projections across branches, unsupported aggregates, or a
+            multi-aggregate projection (which the legacy plan shape
+            cannot carry — use :func:`repro.api.parse_sql`).
     """
-    text = " ".join(sql.strip().rstrip(";").split())
-    verify = False
-    if text.upper().endswith(" VERIFY"):
-        verify = True
-        text = text[: -len(" VERIFY")]
-
-    upper = text.upper()
-    has_intersect = " INTERSECT " in f" {upper} "
-    has_union = " UNION " in f" {upper} "
-    if has_intersect and has_union:
-        raise QueryError("cannot mix INTERSECT and UNION in one query")
-    if not has_intersect and not has_union:
+    from repro.api.sql import parse_sql
+    plan = parse_sql(sql)
+    if len(plan.aggregates) > 1:
         raise QueryError(
-            "Prism queries are multi-owner set operations: expected at "
-            "least one INTERSECT or UNION branch"
+            "the legacy QueryPlan holds a single aggregate; parse "
+            "multi-aggregate statements with repro.api.parse_sql (or "
+            "execute them via run_query / PrismClient)"
         )
-    set_op = "psi" if has_intersect else "psu"
-    splitter = re.compile(r"\s+INTERSECT\s+|\s+UNION\s+", re.IGNORECASE)
-    branches = splitter.split(text)
-    if len(branches) < 2:
-        raise QueryError("need at least two branches")
-
-    parsed = [_parse_branch(b) for b in branches]
-    first_projection = parsed[0][0]
-    for projection, _ in parsed[1:]:
-        if projection.upper() != first_projection.upper():
-            raise QueryError(
-                f"all branches must project the same expression; got "
-                f"{first_projection!r} vs {projection!r}"
-            )
-    attribute, aggregate = _interpret_projection(first_projection)
-    tables = tuple(table for _, table in parsed)
-    return QueryPlan(set_op=set_op, attribute=attribute, aggregate=aggregate,
-                     tables=tables, verify=verify)
+    if not plan.aggregates:
+        aggregate = None
+    else:
+        fn, attr = plan.aggregates[0]
+        # The legacy view spells COUNT with the set attribute repeated.
+        aggregate = (fn, attr if attr is not None else plan.attribute)
+    return QueryPlan(set_op=plan.set_op, attribute=plan.attribute,
+                     aggregate=aggregate, tables=plan.tables,
+                     verify=plan.verify)
 
 
-def _parse_branch(branch: str) -> tuple[str, str]:
-    match = _BRANCH_RE.match(branch)
-    if not match:
-        raise QueryError(f"malformed branch: {branch!r}")
-    projection = "".join(match.group("projection").split())
-    return projection, match.group("table")
-
-
-def _interpret_projection(projection: str) -> tuple[str, tuple[str, str] | None]:
-    """Split ``"disease,SUM(cost)"`` into attribute + aggregate spec."""
-    parts = projection.split(",")
-    if len(parts) == 1:
-        agg = _AGG_RE.match(parts[0])
-        if agg is None:
-            return parts[0], None
-        if agg.group("fn").upper() != "COUNT":
-            raise QueryError(
-                f"{agg.group('fn').upper()} needs a set attribute too, e.g. "
-                f"SELECT disease, {agg.group('fn').upper()}(cost) ..."
-            )
-        return agg.group("attr"), ("COUNT", agg.group("attr"))
-    if len(parts) == 2:
-        agg = _AGG_RE.match(parts[1])
-        if not agg:
-            raise QueryError(
-                f"second projection item must be an aggregate: {parts[1]!r}"
-            )
-        return parts[0], _agg_tuple(agg)
-    raise QueryError(f"too many projection items in {projection!r}")
-
-
-def _agg_tuple(match: re.Match) -> tuple[str, str]:
-    return match.group("fn").upper(), match.group("attr")
+def _executor_for(system):
+    """The system's cached executor (fresh one for duck-typed systems)."""
+    executor = getattr(system, "executor", None)
+    if executor is not None:
+        return executor
+    from repro.api.executor import Executor
+    return Executor(system)
 
 
 def run_query(system, sql: str):
-    """Parse and execute in one call."""
-    return parse_query(sql).execute(system)
+    """Parse and execute in one call, through the unified path.
+
+    Supports the full dialect (multi-aggregate projections included) and
+    the ``EXPLAIN`` prefix, which returns the plan's description string
+    without executing anything.
+    """
+    from repro.api.sql import parse_sql, split_explain
+    explain, text = split_explain(sql)
+    executor = _executor_for(system)
+    if explain:
+        return executor.explain(parse_sql(text))
+    return executor.execute(parse_sql(text))

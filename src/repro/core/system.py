@@ -6,6 +6,16 @@ query (Table 4): ``psi``, ``psu``, ``psi_count``, ``psu_count``,
 ``psi_sum``, ``psi_average``, ``psi_max``, ``psi_min``, ``psi_median``,
 plus their PSU-aggregation variants and bucketized PSI.
 
+Since the unified-API redesign these methods are thin shims: each lowers
+its arguments to a :class:`~repro.api.plan.LogicalPlan` and runs it
+through the single :class:`~repro.api.executor.Executor`, so *every*
+query — including a lone ``system.psi(...)`` call — executes as a batch
+of one through the fused 2-D server kernels and the indicator-share
+cache.  Results are bit-identical to the historical per-query runners
+(pinned by ``tests/test_batch.py`` and ``tests/test_api.py``).  For a
+session-style surface with per-session stats, use
+:meth:`client` / :class:`repro.api.PrismClient`.
+
 Typical use::
 
     from repro import PrismSystem, Relation, Domain
@@ -20,16 +30,11 @@ Typical use::
 
 from __future__ import annotations
 
-from repro.core.aggregate import run_aggregate
 from repro.core.batch import QueryBatch
 from repro.core.bucketized import (
     BucketTree,
     outsource_bucketized,
-    run_bucketized_psi,
 )
-from repro.core.count import run_psi_count, run_psu_count
-from repro.core.extrema import run_extrema, run_median
-from repro.core.psi import run_psi
 from repro.core.psu import run_psu
 from repro.core.results import (
     AggregateResult,
@@ -45,7 +50,7 @@ from repro.entities.announcer import Announcer
 from repro.entities.initiator import Initiator
 from repro.entities.owner import DBOwner
 from repro.entities.server import PrismServer
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, ProtocolError
 from repro.network.transport import LocalTransport
 
 #: Number of servers a full deployment instantiates (2 additive + 1 extra
@@ -110,6 +115,7 @@ class PrismSystem:
             self.initiator.announcer_params(include_eta=announcer_knows_eta),
             seed=seed,
         )
+        self._executor = None
         self._nonce = 0
         self._bucket_trees: dict[str, BucketTree] = {}
 
@@ -155,6 +161,15 @@ class PrismSystem:
         self._bucket_trees[key] = tree
         return tree
 
+    def bucket_tree(self, attribute) -> BucketTree:
+        """The §6.6 bucket tree for ``attribute`` (raises if not built)."""
+        key = attribute if isinstance(attribute, str) else "*".join(attribute)
+        if key not in self._bucket_trees:
+            raise ParameterError(
+                f"call outsource_bucketized({key!r}) before bucketized_psi"
+            )
+        return self._bucket_trees[key]
+
     def next_nonce(self) -> int:
         """Fresh query nonce (PSU mask stream freshness)."""
         self._nonce += 1
@@ -164,7 +179,27 @@ class PrismSystem:
     def relations(self) -> list[Relation]:
         return [owner.relation for owner in self.owners]
 
-    # -- batched execution -----------------------------------------------------
+    def client(self, num_threads: int | None = None):
+        """Open a session-style :class:`repro.api.PrismClient` on this
+        deployment (per-session query/traffic stats, ``EXPLAIN``, fluent
+        builders)."""
+        from repro.api.client import PrismClient
+        return PrismClient(self, num_threads=num_threads)
+
+    # -- the unified execution path -------------------------------------------
+
+    @property
+    def executor(self):
+        """The deployment's :class:`~repro.api.executor.Executor`.
+
+        Imported lazily: :mod:`repro.api` sits *above* the core layer
+        (its executor dispatches into :mod:`repro.core.batch`), so a
+        module-level import here would be circular.
+        """
+        if self._executor is None:
+            from repro.api.executor import Executor
+            self._executor = Executor(self)
+        return self._executor
 
     def run_batch(self, queries, num_threads: int | None = None) -> list:
         """Execute many queries as fused server sweeps (Phase 2–4 at once).
@@ -174,7 +209,12 @@ class PrismSystem:
         of one pass per query; results are identical to calling the
         per-query methods one by one.  See :mod:`repro.core.batch` for
         what is batchable (extrema/median are not) and for the shared
-        timings/traffic caveats.
+        timings/traffic caveats.  This is the raw batch layer — it keeps
+        the legacy per-kind result shapes (aggregations always return an
+        attribute-keyed dict); :meth:`repro.api.Executor.execute_many`
+        and :meth:`repro.api.PrismClient.execute_many` accept richer
+        query forms (fluent builders, multi-aggregate plans) on top of
+        the same engine.
 
         Args:
             queries: iterable of :class:`~repro.core.batch.BatchQuery`,
@@ -187,49 +227,100 @@ class PrismSystem:
         """
         return QueryBatch(self, queries, num_threads=num_threads).execute()
 
+    def _lower(self, set_op, attribute, kwargs, aggregates=(), verify=False,
+               reveal_holders=True, bucketized=False):
+        """Lower legacy method arguments to (plan, num_threads, options)."""
+        from repro.api.plan import LogicalPlan
+        kwargs = dict(kwargs)
+        num_threads = kwargs.pop("num_threads", None)
+        querier = kwargs.pop("querier", 0)
+        owner_ids = kwargs.pop("owner_ids", None)
+        plan = LogicalPlan(
+            set_op=set_op, attribute=attribute, aggregates=aggregates,
+            verify=verify, reveal_holders=reveal_holders,
+            bucketized=bucketized,
+            owner_ids=tuple(owner_ids) if owner_ids is not None else None,
+            querier=querier,
+        )
+        return plan, num_threads, kwargs
+
+    def _summary(self, set_op, fn, attribute, agg_attributes, verify,
+                 kwargs) -> dict[str, AggregateResult]:
+        """Shared shim for the SUM/AVG methods (attribute-keyed dict)."""
+        if isinstance(agg_attributes, str):
+            agg_attributes = [agg_attributes]
+        if not agg_attributes:
+            raise ProtocolError("no aggregation attributes given")
+        plan, num_threads, options = self._lower(
+            set_op, attribute, kwargs,
+            aggregates=tuple((fn, a) for a in agg_attributes), verify=verify)
+        out = self.executor.execute(plan, num_threads=num_threads, **options)
+        attrs = list(dict.fromkeys(agg_attributes))
+        if len(attrs) == 1:
+            return {attrs[0]: out}
+        return {a: out[plan.result_key(fn, a)] for a in attrs}
+
     # -- set queries -----------------------------------------------------------
 
     def psi(self, attribute, verify: bool = False, **kwargs) -> SetResult:
         """Private set intersection over ``attribute`` (§5.1/§5.2)."""
-        return run_psi(self, attribute, verify=verify, **kwargs)
+        plan, num_threads, options = self._lower("psi", attribute, kwargs,
+                                                 verify=verify)
+        return self.executor.execute(plan, num_threads=num_threads, **options)
 
     def psu(self, attribute, verify: bool = False, **kwargs) -> SetResult:
-        """Private set union over ``attribute`` (§7), optionally verified."""
-        return run_psu(self, attribute, verify=verify, **kwargs)
+        """Private set union over ``attribute`` (§7), optionally verified.
+
+        ``query_nonce`` (a legacy escape hatch for pinning the Eq. 18
+        mask stream) routes through the sequential runner; every other
+        call takes the unified batched path.
+        """
+        query_nonce = kwargs.pop("query_nonce", None)
+        if query_nonce is not None:
+            return run_psu(self, attribute, verify=verify,
+                           query_nonce=query_nonce, **kwargs)
+        plan, num_threads, options = self._lower("psu", attribute, kwargs,
+                                                 verify=verify)
+        return self.executor.execute(plan, num_threads=num_threads, **options)
 
     def psi_count(self, attribute, verify: bool = False, **kwargs) -> CountResult:
         """Intersection cardinality only (§6.5)."""
-        return run_psi_count(self, attribute, verify=verify, **kwargs)
+        plan, num_threads, options = self._lower(
+            "psi", attribute, kwargs, aggregates=(("COUNT", None),),
+            verify=verify)
+        return self.executor.execute(plan, num_threads=num_threads, **options)
 
     def psu_count(self, attribute, **kwargs) -> CountResult:
         """Union cardinality only (§6.5 applied to PSU)."""
-        return run_psu_count(self, attribute, **kwargs)
+        plan, num_threads, options = self._lower(
+            "psu", attribute, kwargs, aggregates=(("COUNT", None),))
+        return self.executor.execute(plan, num_threads=num_threads, **options)
 
     # -- summary aggregations ----------------------------------------------------
 
     def psi_sum(self, attribute, agg_attributes, verify: bool = False,
                 **kwargs) -> dict[str, AggregateResult]:
         """Sum per common value (§6.1); multi-attribute per Table 12."""
-        return run_aggregate(self, attribute, agg_attributes, op="sum",
-                             over="psi", verify=verify, **kwargs)
+        return self._summary("psi", "SUM", attribute, agg_attributes,
+                             verify, kwargs)
 
     def psi_average(self, attribute, agg_attributes, verify: bool = False,
                     **kwargs) -> dict[str, AggregateResult]:
         """Average per common value (§6.2)."""
-        return run_aggregate(self, attribute, agg_attributes, op="avg",
-                             over="psi", verify=verify, **kwargs)
+        return self._summary("psi", "AVG", attribute, agg_attributes,
+                             verify, kwargs)
 
     def psu_sum(self, attribute, agg_attributes, verify: bool = False,
                 **kwargs) -> dict[str, AggregateResult]:
         """Sum per union value (aggregation over PSU, §2)."""
-        return run_aggregate(self, attribute, agg_attributes, op="sum",
-                             over="psu", verify=verify, **kwargs)
+        return self._summary("psu", "SUM", attribute, agg_attributes,
+                             verify, kwargs)
 
     def psu_average(self, attribute, agg_attributes, verify: bool = False,
                     **kwargs) -> dict[str, AggregateResult]:
         """Average per union value (aggregation over PSU)."""
-        return run_aggregate(self, attribute, agg_attributes, op="avg",
-                             over="psu", verify=verify, **kwargs)
+        return self._summary("psu", "AVG", attribute, agg_attributes,
+                             verify, kwargs)
 
     # -- exemplar aggregations -----------------------------------------------------
 
@@ -240,29 +331,29 @@ class PrismSystem:
         ``verify=True`` reruns the announcer round under fresh blinding
         and requires agreement (the re-blinding consistency check).
         """
-        return run_extrema(self, attribute, agg_attribute, kind="max",
-                           reveal_holders=reveal_holders, verify=verify,
-                           **kwargs)
+        plan, num_threads, options = self._lower(
+            "psi", attribute, kwargs, aggregates=(("MAX", agg_attribute),),
+            verify=verify, reveal_holders=reveal_holders)
+        return self.executor.execute(plan, num_threads=num_threads, **options)
 
     def psi_min(self, attribute, agg_attribute, reveal_holders: bool = True,
                 verify: bool = False, **kwargs) -> ExtremaResult:
         """Minimum per common value (§6.3 with FindMin)."""
-        return run_extrema(self, attribute, agg_attribute, kind="min",
-                           reveal_holders=reveal_holders, verify=verify,
-                           **kwargs)
+        plan, num_threads, options = self._lower(
+            "psi", attribute, kwargs, aggregates=(("MIN", agg_attribute),),
+            verify=verify, reveal_holders=reveal_holders)
+        return self.executor.execute(plan, num_threads=num_threads, **options)
 
     def psi_median(self, attribute, agg_attribute, **kwargs) -> MedianResult:
         """Median across owners of per-owner group totals (§6.4)."""
-        return run_median(self, attribute, agg_attribute, **kwargs)
+        plan, num_threads, options = self._lower(
+            "psi", attribute, kwargs, aggregates=(("MEDIAN", agg_attribute),))
+        return self.executor.execute(plan, num_threads=num_threads, **options)
 
     # -- bucketized PSI -------------------------------------------------------------
 
     def bucketized_psi(self, attribute, **kwargs) -> tuple[SetResult, dict]:
         """Bucketized PSI (§6.6); requires :meth:`outsource_bucketized`."""
-        key = attribute if isinstance(attribute, str) else "*".join(attribute)
-        if key not in self._bucket_trees:
-            raise ParameterError(
-                f"call outsource_bucketized({key!r}) before bucketized_psi"
-            )
-        return run_bucketized_psi(self, attribute, self._bucket_trees[key],
-                                  **kwargs)
+        plan, num_threads, options = self._lower("psi", attribute, kwargs,
+                                                 bucketized=True)
+        return self.executor.execute(plan, num_threads=num_threads, **options)

@@ -242,6 +242,24 @@ class PrismServer:
 
     # -- batched 2-D kernels (multi-query fused sweeps) ------------------------
 
+    def _kernel_overridden(self, *names: str) -> bool:
+        """True when a subclass replaced any of the named 1-D kernels.
+
+        The unified execution path routes *every* query through the
+        fused 2-D kernels, including queries against deployments with
+        injected malicious/instrumented servers (subclasses overriding
+        the 1-D kernels).  A fused base-class sweep would silently
+        bypass those overrides — the tampering would never happen and
+        verification tests would vacuously pass — so the batch kernels
+        fall back to stacking per-row 1-D outputs whenever a relevant
+        kernel is overridden.  Honest deployments never take this path.
+        """
+        return any(
+            getattr(type(self), name) is not getattr(PrismServer, name)
+            or name in vars(self)  # instance-level monkeypatch
+            for name in names
+        )
+
     @staticmethod
     def _check_uniform(columns, share_lists) -> tuple[int, int]:
         """Validate a fused sweep's inputs; returns (num_owners, b).
@@ -296,6 +314,12 @@ class PrismServer:
             subtract_m = [True] * len(columns)
         if len(subtract_m) != len(columns):
             raise ProtocolError("subtract_m flags must match the column count")
+        if self._kernel_overridden("psi_round", "verification_round"):
+            return np.stack([
+                self.psi_round(column, num_threads, owner_ids) if subtract
+                else self.verification_round(column, num_threads, owner_ids)
+                for column, subtract in zip(columns, subtract_m)
+            ])
         share_lists = [self.fetch_additive(c, owner_ids) for c in columns]
         num_owners, n = self._check_uniform(columns, share_lists)
         delta = self.params.delta
@@ -327,11 +351,32 @@ class PrismServer:
         ``use_pf_s2`` true) by ``PF_s2`` — exactly the Eq. (1) pairing of
         :meth:`count_round` / :meth:`count_verification_round`, per row.
         """
-        out = self.psi_round_batch(columns, num_threads, owner_ids, subtract_m)
+        if not len(columns):
+            raise ProtocolError("batched count sweep needs at least one column")
+        if subtract_m is None:
+            subtract_m = [True] * len(columns)
+        if len(subtract_m) != len(columns):
+            raise ProtocolError("subtract_m flags must match the column count")
         if use_pf_s2 is None:
             use_pf_s2 = [False] * len(columns)
         if len(use_pf_s2) != len(columns):
             raise ProtocolError("use_pf_s2 flags must match the column count")
+        if self._kernel_overridden("count_round", "count_verification_round"):
+            rows = []
+            for column, subtract, pf2 in zip(columns, subtract_m, use_pf_s2):
+                if subtract and not pf2:
+                    rows.append(self.count_round(column, num_threads,
+                                                 owner_ids))
+                elif pf2 and not subtract:
+                    rows.append(self.count_verification_round(
+                        column, num_threads, owner_ids))
+                else:
+                    raise ProtocolError(
+                        "per-row count fallback supports only the §6.5 "
+                        "data/proof row shapes"
+                    )
+            return np.stack(rows)
+        out = self.psi_round_batch(columns, num_threads, owner_ids, subtract_m)
         for row, flag in enumerate(use_pf_s2):
             pf = self.params.pf_s2 if flag else self.params.pf_s1
             out[row] = pf.apply(out[row])
@@ -352,6 +397,14 @@ class PrismServer:
             raise ProtocolError("batched PSU sweep needs at least one column")
         if len(query_nonces) != len(columns):
             raise ProtocolError("query_nonces must match the column count")
+        if permute is not None and len(permute) != len(columns):
+            raise ProtocolError("permute flags must match the column count")
+        if self._kernel_overridden("psu_round"):
+            out = np.stack([
+                self.psu_round(column, nonce, num_threads, owner_ids)
+                for column, nonce in zip(columns, query_nonces)
+            ])
+            return self._apply_psu_permute(out, permute)
         uniq = list(dict.fromkeys(columns))
         row_map = np.fromiter((uniq.index(c) for c in columns),
                               dtype=np.int64, count=len(columns))
@@ -375,9 +428,11 @@ class PrismServer:
             out[:, lo:hi] = np.mod(local[row_map] * rand[:, lo:hi], delta)
 
         _run_chunked(kernel, n, num_threads)
+        return self._apply_psu_permute(out, permute)
+
+    def _apply_psu_permute(self, out: np.ndarray, permute) -> np.ndarray:
+        """Apply per-row ``PF_s1`` to the flagged rows (the PSU-Count path)."""
         if permute is not None:
-            if len(permute) != len(columns):
-                raise ProtocolError("permute flags must match the column count")
             for row, flag in enumerate(permute):
                 if flag:
                     out[row] = self.params.pf_s1.apply(out[row])
@@ -401,6 +456,12 @@ class PrismServer:
                 f"z matrix of shape {z_matrix.shape} does not stack one row "
                 f"per column ({len(columns)} expected)"
             )
+        if self._kernel_overridden("aggregate_round"):
+            return np.stack([
+                self.aggregate_round(column, z_matrix[row], num_threads,
+                                     owner_ids)
+                for row, column in enumerate(columns)
+            ])
         share_lists = [self.fetch_shamir(c, owner_ids) for c in columns]
         _, n = self._check_uniform(columns, share_lists)
         if z_matrix.shape[1] != n:

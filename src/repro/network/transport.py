@@ -30,6 +30,7 @@ class TrafficStats:
         self.rounds = 0
         self._total_bytes = 0
         self._bytes_by_pair: dict[tuple[Role, Role], int] = {}
+        self._messages_by_kind: dict[str, int] = {}
 
     def record(self, message: Message) -> None:
         """Append one transfer to the log and the running counters."""
@@ -38,6 +39,8 @@ class TrafficStats:
         pair = (message.sender.role, message.receiver.role)
         self._bytes_by_pair[pair] = (
             self._bytes_by_pair.get(pair, 0) + message.nbytes)
+        self._messages_by_kind[message.kind] = (
+            self._messages_by_kind.get(message.kind, 0) + 1)
 
     @property
     def total_bytes(self) -> int:
@@ -49,6 +52,22 @@ class TrafficStats:
 
     def bytes_between(self, sender_role: Role, receiver_role: Role) -> int:
         return self._bytes_by_pair.get((sender_role, receiver_role), 0)
+
+    @property
+    def messages_by_kind(self) -> dict[str, int]:
+        """Message counts per wire ``kind`` label, maintained O(1).
+
+        Batched streams are labelled ``batch:<stream>[Q]``
+        (:func:`repro.network.message.batch_kind`), so these counters
+        attribute traffic to the execution path that produced it — e.g.
+        asserting that a single query really ran through the fused
+        batch kernels.
+        """
+        return dict(self._messages_by_kind)
+
+    def messages_of_kind(self, kind: str) -> int:
+        """Count of recorded messages carrying exactly this kind label."""
+        return self._messages_by_kind.get(kind, 0)
 
     def summary(self) -> dict[str, int]:
         """Compact dict for experiment reports."""

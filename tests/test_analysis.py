@@ -6,7 +6,6 @@ import pytest
 from repro import Domain, PrismSystem, Relation
 from repro.analysis import (
     CostModel,
-    RecordingServer,
     access_trace,
     chi_squared_uniformity,
     generator_ambiguity,

@@ -1,7 +1,5 @@
 """Tests for the Table 13 baseline implementations."""
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro import BatchQuery, Domain, PrismSystem, QueryError, Relation
-from repro.core.batch import QueryBatch, run_batch
+from repro.core.batch import QueryBatch
 from repro.exceptions import VerificationError
 
 

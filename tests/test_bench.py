@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.bench.experiments import (
     EXPERIMENTS,
     exp1_threads,

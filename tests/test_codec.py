@@ -161,8 +161,10 @@ class TestSerializedTransportConformance:
         system.transport.reset()
         system.psi("k")
         measured = system.transport.stats.summary()["server_to_owner_bytes"]
-        # Wire framing adds 11 bytes per vector message (magic, version,
-        # tag, length) on top of the model's raw share bytes.
+        # The unified execution path ships every query as a batch of one,
+        # so each server's output is a (1, b) matrix whose wire framing
+        # is 19 bytes per message (magic, version, tag, rows, cols) on
+        # top of the model's raw share bytes.
         predicted = CostModel(3, 8).psi()
         messages = 2 * 3  # 2 servers broadcast to 3 owners
-        assert measured == predicted.server_to_owner_bytes + 11 * messages
+        assert measured == predicted.server_to_owner_bytes + 19 * messages

@@ -5,7 +5,6 @@ verification, subsets × aggregation, serialization × adversaries, hashed
 domains × counts, ...) — the places where implementations usually crack.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -11,7 +11,6 @@ other rather than to an oracle:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Domain, PrismSystem, Relation

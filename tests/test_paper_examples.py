@@ -5,9 +5,7 @@ Example 5.2.1 (PSI verification), §2's expected query answers,
 Example 6.3.1 (maximum with F(x) = x⁴+x³+x²+x+1), and §6.4's median.
 """
 
-import pytest
-
-from repro import Domain, PrismSystem, Relation
+from repro import PrismSystem
 from repro.crypto.groups import CyclicGroup
 from repro.crypto.polynomial import OrderPreservingPolynomial
 

@@ -1,11 +1,10 @@
 """End-to-end PSI tests against the plaintext oracle (§5.1, §6.6)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Domain, PrismSystem, Relation
-from repro.core.psi import membership_vector, psi_reference, run_psi
+from repro.core.psi import membership_vector, psi_reference
 from repro.exceptions import ProtocolError
 from tests.conftest import make_system
 

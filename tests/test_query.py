@@ -136,3 +136,49 @@ class TestExecution:
         with pytest.raises(Exception):
             plan.set_op = "psu"
         assert isinstance(plan, QueryPlan)
+
+
+class TestDialectExtensions:
+    """Multi-aggregate projections (Table 12) and the EXPLAIN prefix."""
+
+    MULTI_SQL = ("SELECT disease, SUM(cost), AVG(age) FROM h1 INTERSECT "
+                 "SELECT disease, SUM(cost), AVG(age) FROM h2 INTERSECT "
+                 "SELECT disease, SUM(cost), AVG(age) FROM h3")
+
+    def test_multi_aggregate_executes(self, hospital_system):
+        out = run_query(hospital_system, self.MULTI_SQL)
+        assert set(out) == {"SUM(cost)", "AVG(age)"}
+        assert out["SUM(cost)"].per_value == {"Cancer": 1400}
+        assert out["AVG(age)"].per_value == {"Cancer": pytest.approx(6.0)}
+
+    def test_legacy_parse_query_rejects_multi_aggregate(self):
+        # The single-aggregate QueryPlan view cannot carry it; the new
+        # API (repro.api.parse_sql) parses and executes it fine.
+        with pytest.raises(QueryError):
+            parse_query(self.MULTI_SQL)
+
+    def test_multi_aggregate_branch_consistency_still_enforced(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT a, SUM(b), AVG(c) FROM x INTERSECT "
+                        "SELECT a, SUM(b) FROM y")
+
+    def test_explain_returns_description_without_executing(
+            self, hospital_system):
+        hospital_system.transport.reset()
+        text = run_query(hospital_system, "EXPLAIN " + PSI_SQL)
+        assert isinstance(text, str) and "PSI" in text
+        assert hospital_system.transport.stats.total_messages == 0
+
+    def test_explain_is_case_insensitive(self, hospital_system):
+        text = run_query(hospital_system, "explain " + PSU_SQL)
+        assert "PSU" in text
+
+    def test_verify_carried_for_psu(self, hospital_system):
+        # Regression: the old QueryPlan.execute dropped VERIFY on UNION.
+        assert run_query(hospital_system, PSU_SQL + " VERIFY").verified
+
+    def test_verify_carried_for_extrema(self):
+        sql = ("SELECT disease, MAX(age) FROM h1 INTERSECT "
+               "SELECT disease, MAX(age) FROM h2 VERIFY")
+        assert parse_query(sql).verify
+        assert parse_query(sql).to_logical().verify
