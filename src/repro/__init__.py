@@ -28,6 +28,7 @@ from repro.api import (
 )
 from repro.core.batch import BatchQuery, QueryBatch, run_batch
 from repro.core.query import parse_query, run_query
+from repro.core.sharding import ShardPlan
 from repro.core.results import (
     AggregateResult,
     CountResult,
@@ -74,6 +75,7 @@ __all__ = [
     "QueryError",
     "Relation",
     "SetResult",
+    "ShardPlan",
     "ShareError",
     "VerificationError",
     "parse_query",

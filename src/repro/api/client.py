@@ -17,13 +17,52 @@ executor path and keeps per-session accounting::
 Every query — SQL, builder, dict, legacy spec — reaches the same
 executor, so single queries run through the fused batch kernels and the
 indicator-share cache exactly like explicit batches do.
+
+Concurrent submission
+---------------------
+
+:meth:`PrismClient.submit` is the serving-engine surface: it returns a
+:class:`concurrent.futures.Future` immediately and hands the query to a
+background scheduler thread.  The scheduler drains *all* in-flight
+submissions per tick and runs them as **one** fused
+:class:`~repro.core.batch.QueryBatch`, so concurrent users automatically
+share server sweeps and the planner's row-dedup — two dashboards
+refreshing the same PSI pay for one Eq. 3 sweep::
+
+    with system.client() as client:
+        futures = [client.submit(q) for q in queries]   # any thread(s)
+        results = [f.result() for f in futures]
+
+A short coalescing window (``coalesce_window`` seconds) lets genuinely
+concurrent submitters land in the same tick; :meth:`PrismClient.hold`
+pins the scheduler for deterministic coalescing (tests, bulk loads).  If
+a fused tick fails (e.g. one query's verification trips), the scheduler
+re-runs that tick's queries individually so the failure lands only on
+the offending future.
 """
 
 from __future__ import annotations
 
+import contextlib
+import threading
+import time
+from concurrent.futures import Future
+
 from repro.api.executor import Executor
 from repro.api.planner import Planner
 from repro.api.sql import split_explain
+
+
+class _Submission:
+    """One queued :meth:`PrismClient.submit` call."""
+
+    __slots__ = ("query", "num_threads", "num_shards", "future")
+
+    def __init__(self, query, num_threads, num_shards):
+        self.query = query
+        self.num_threads = num_threads
+        self.num_shards = num_shards
+        self.future: Future = Future()
 
 
 class PrismClient:
@@ -33,11 +72,19 @@ class PrismClient:
         system: a deployed (outsourced) :class:`PrismSystem`.
         num_threads: default server-side thread count for this session
             (``None``: the system's own default).
+        num_shards: default χ-shard count for this session (``None``:
+            the system's own default).
+        coalesce_window: seconds the scheduler waits after waking so
+            concurrent :meth:`submit` calls land in the same fused tick.
     """
 
-    def __init__(self, system, num_threads: int | None = None):
+    def __init__(self, system, num_threads: int | None = None,
+                 num_shards: int | None = None,
+                 coalesce_window: float = 0.002):
         self.system = system
         self.num_threads = num_threads
+        self.num_shards = num_shards
+        self.coalesce_window = coalesce_window
         self.planner = Planner()
         self.executor = Executor(system, planner=self.planner)
         self._queries = 0
@@ -47,6 +94,18 @@ class PrismClient:
         self._interactive_units = 0
         self._traffic_bytes = 0
         self._traffic_messages = 0
+        # Scheduler state: one session-wide execution lock (the executor
+        # and transport are not reentrant), one condition guarding the
+        # submission queue, one lazily started daemon thread.
+        self._exec_lock = threading.RLock()
+        self._cond = threading.Condition()
+        self._pending: list[_Submission] = []
+        self._holds = 0
+        self._closing = False
+        self._scheduler: threading.Thread | None = None
+        self._submitted = 0
+        self._ticks = 0
+        self._max_coalesced = 0
 
     @classmethod
     def connect(cls, relations, domain, psi_attribute, agg_attributes=(),
@@ -62,7 +121,7 @@ class PrismClient:
     # -- queries --------------------------------------------------------------
 
     def execute(self, query, num_threads: int | None = None,
-                **runner_options):
+                num_shards: int | None = None, **runner_options):
         """Run one query of any supported form.
 
         SQL strings may carry an ``EXPLAIN`` prefix, in which case the
@@ -72,18 +131,23 @@ class PrismClient:
             explain, text = split_explain(query)
             if explain:
                 return self.explain(text)
-        plan = self.planner.lower(query)
-        with self._accounted([plan]):
-            return self.executor.execute(
-                plan, num_threads=self._threads(num_threads),
-                **runner_options)
+        with self._exec_lock:
+            plan = self.planner.lower(query)
+            with self._accounted([plan]):
+                return self.executor.execute(
+                    plan, num_threads=self._threads(num_threads),
+                    num_shards=self._shards(num_shards),
+                    **runner_options)
 
-    def execute_many(self, queries, num_threads: int | None = None) -> list:
+    def execute_many(self, queries, num_threads: int | None = None,
+                     num_shards: int | None = None) -> list:
         """Run many queries; batchable units fuse into one server batch."""
-        plans = self.planner.lower_many(queries)
-        with self._accounted(plans):
-            return self.executor.execute_many(
-                plans, num_threads=self._threads(num_threads))
+        with self._exec_lock:
+            plans = self.planner.lower_many(queries)
+            with self._accounted(plans):
+                return self.executor.execute_many(
+                    plans, num_threads=self._threads(num_threads),
+                    num_shards=self._shards(num_shards))
 
     def explain(self, query) -> str:
         """The plan's description + dispatch routes, without executing."""
@@ -99,17 +163,172 @@ class PrismClient:
             _, query = split_explain(query)
         return self.planner.lower(query).describe()
 
+    # -- concurrent submission ------------------------------------------------
+
+    def submit(self, query, num_threads: int | None = None,
+               num_shards: int | None = None) -> Future:
+        """Queue one query for coalesced execution; returns a future.
+
+        Safe to call from any thread.  All submissions in flight at the
+        scheduler's next drain tick execute as a single fused batch —
+        concurrent queries share sweeps and row-dedup automatically.
+        ``EXPLAIN`` SQL resolves immediately (nothing to coalesce).
+        """
+        if isinstance(query, str):
+            explain, text = split_explain(query)
+            if explain:
+                future: Future = Future()
+                try:
+                    future.set_result(self.explain(text))
+                except Exception as exc:  # lowering errors -> the future
+                    future.set_exception(exc)
+                return future
+        submission = _Submission(query, self._threads(num_threads),
+                                 self._shards(num_shards))
+        with self._cond:
+            if self._closing:
+                raise RuntimeError("client is closed; no new submissions")
+            self._pending.append(submission)
+            self._submitted += 1
+            self._ensure_scheduler()
+            self._cond.notify_all()
+        return submission.future
+
+    @contextlib.contextmanager
+    def hold(self):
+        """Pin the scheduler: queued submissions drain in one tick on exit.
+
+        Nestable and thread-safe; used for deterministic coalescing::
+
+            with client.hold():
+                futures = [client.submit(q) for q in queries]
+            # exactly one fused batch runs here
+        """
+        with self._cond:
+            self._holds += 1
+        try:
+            yield self
+        finally:
+            with self._cond:
+                self._holds -= 1
+                self._cond.notify_all()
+
+    def close(self) -> None:
+        """Drain outstanding submissions and stop the scheduler thread.
+
+        Idempotent.  Further :meth:`submit` calls raise; ``execute`` /
+        ``execute_many`` keep working (they do not use the scheduler).
+        """
+        with self._cond:
+            self._closing = True
+            thread = self._scheduler
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join(timeout=60)
+
+    def __enter__(self) -> "PrismClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_scheduler(self) -> None:
+        # Called under self._cond.
+        if self._scheduler is None or not self._scheduler.is_alive():
+            self._scheduler = threading.Thread(
+                target=self._scheduler_loop,
+                name="prism-client-scheduler", daemon=True)
+            self._scheduler.start()
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not (self._pending
+                           and (self._holds == 0 or self._closing)):
+                    if self._closing and not self._pending:
+                        return
+                    # Every predicate input (submit, hold-exit, close)
+                    # notifies, so an idle scheduler sleeps — no polling.
+                    self._cond.wait()
+                closing = self._closing
+            if self.coalesce_window and not closing:
+                # Give genuinely concurrent submitters a beat to land in
+                # this tick (the whole point of coalescing).
+                time.sleep(self.coalesce_window)
+            with self._cond:
+                if self._holds and not self._closing:
+                    # A hold() arrived during the window: the queue is
+                    # pinned again; go back to waiting so the held
+                    # submissions drain in one tick, as promised.
+                    continue
+                items, self._pending = self._pending, []
+            items = [s for s in items
+                     if s.future.set_running_or_notify_cancel()]
+            if items:
+                self._run_tick(items)
+            with self._cond:
+                if self._closing and not self._pending:
+                    return
+
+    def _run_tick(self, items: list[_Submission]) -> None:
+        """Execute one drain tick as fused batches (per option group)."""
+        groups: dict[tuple, list[_Submission]] = {}
+        for submission in items:
+            key = (submission.num_threads, submission.num_shards)
+            groups.setdefault(key, []).append(submission)
+        # One drain = one tick, however many option groups (or fallback
+        # re-runs) it takes; max_coalesced tracks the largest fused batch.
+        self._ticks += 1
+        self._max_coalesced = max(
+            self._max_coalesced, max(len(m) for m in groups.values()))
+        for (num_threads, num_shards), members in groups.items():
+            try:
+                with self._exec_lock:
+                    plans = self.planner.lower_many(
+                        [m.query for m in members])
+                    with self._accounted(plans):
+                        results = self.executor.execute_many(
+                            plans, num_threads=num_threads,
+                            num_shards=num_shards)
+            except Exception:
+                # One bad query must not fail its tick-mates: fall back
+                # to individual execution so the exception lands only on
+                # the future(s) that earned it.
+                self._run_individually(members, num_threads, num_shards)
+                continue
+            for member, result in zip(members, results):
+                member.future.set_result(result)
+
+    def _run_individually(self, members, num_threads, num_shards) -> None:
+        for member in members:
+            try:
+                with self._exec_lock:
+                    plan = self.planner.lower(member.query)
+                    with self._accounted([plan]):
+                        result = self.executor.execute(
+                            plan, num_threads=num_threads,
+                            num_shards=num_shards)
+            except Exception as exc:
+                member.future.set_exception(exc)
+            else:
+                member.future.set_result(result)
+
     # -- session accounting ---------------------------------------------------
 
     def _threads(self, num_threads: int | None) -> int | None:
         return num_threads if num_threads is not None else self.num_threads
+
+    def _shards(self, num_shards: int | None) -> int | None:
+        return num_shards if num_shards is not None else self.num_shards
 
     def _accounted(self, plans):
         return _Accounting(self, plans)
 
     @property
     def stats(self) -> dict:
-        """Per-session counters: queries, unit routing, traffic, cache."""
+        """Per-session counters: queries, unit routing, traffic, cache,
+        and the coalescing scheduler (submissions, drain ticks, largest
+        fused tick)."""
         cache = getattr(getattr(self.system, "initiator", None),
                         "indicator_cache", None)
         return {
@@ -121,6 +340,9 @@ class PrismClient:
             "traffic": {"messages": self._traffic_messages,
                         "bytes": self._traffic_bytes},
             "cache": dict(cache.stats) if cache is not None else {},
+            "scheduler": {"submitted": self._submitted,
+                          "ticks": self._ticks,
+                          "max_coalesced": self._max_coalesced},
         }
 
 

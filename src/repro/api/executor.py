@@ -96,30 +96,68 @@ class Executor:
     # -- public surface -------------------------------------------------------
 
     def execute(self, query, num_threads: int | None = None,
-                **runner_options):
+                num_shards: int | None = None, **runner_options):
         """Lower and run one query; returns its canonical-shape result.
 
-        ``runner_options`` are forwarded to interactive runners only
-        (e.g. ``common_values=`` for extrema, ``announcer_driven=`` for
-        bucketized PSI); a fully-batchable plan rejects them.
+        ``num_shards`` overrides the deployment's χ-shard count for this
+        call (batchable units only; interactive runners are
+        announcer-round-bound, not sweep-bound).  ``runner_options`` are
+        forwarded to interactive runners only (e.g. ``common_values=``
+        for extrema, ``announcer_driven=`` for bucketized PSI); a fully-
+        batchable plan rejects them.
         """
         plan = self.planner.lower(query)
-        return self._run([plan], num_threads, runner_options)[0]
+        return self._run([plan], num_threads, runner_options,
+                         num_shards=num_shards)[0]
 
-    def execute_many(self, queries, num_threads: int | None = None) -> list:
+    def execute_many(self, queries, num_threads: int | None = None,
+                     num_shards: int | None = None) -> list:
         """Run many queries; batchable units fuse into one QueryBatch."""
         plans = self.planner.lower_many(queries)
-        return self._run(plans, num_threads, {})
+        return self._run(plans, num_threads, {}, num_shards=num_shards)
 
     def explain(self, query) -> str:
-        """The plan's ``describe()`` plus its dispatch routes."""
+        """The plan's ``describe()``, dispatch routes, and batch-plan stats.
+
+        The batch-plan suffix comes from :meth:`QueryBatch.plan` without
+        executing anything: how many kernel rows the batchable units
+        request, how many survive fusion, how many the row-dedup removes,
+        and how many fused server sweeps will run — so plan-level savings
+        are visible before committing to the query.
+        """
         plan = self.planner.lower(query)
         routes = ", ".join(
             f"{unit.kind}→"
             f"{'fused batch kernel' if self._route(unit) is BATCHED else 'interactive runner'}"
             for unit in plan.units()
         )
-        return f"{plan.describe()} [{routes}]"
+        text = f"{plan.describe()} [{routes}]"
+        stats = self.plan_stats([plan])
+        if stats is not None:
+            # Aggregate plans additionally run Eq. 11 sweeps, whose row
+            # count depends on cache state at execution time; the
+            # pre-execution number is the indicator-sweep count.
+            text += (
+                f" [batch plan: {stats['fused_rows']} fused rows for "
+                f"{stats['rows_requested']} requested, "
+                f"{stats['rows_deduplicated']} rows_deduplicated, "
+                f"{stats['indicator_sweeps_planned']} fused indicator sweeps]"
+            )
+        return text
+
+    def plan_stats(self, plans) -> dict | None:
+        """:meth:`QueryBatch.plan` summary for the batchable units of
+        ``plans`` (lowered), or ``None`` when nothing is batchable.
+        Purely a planning pass — no servers are touched."""
+        specs = [
+            self._to_batch_query(plan, unit)
+            for plan in plans
+            for unit in plan.units()
+            if self._route(unit) is BATCHED
+        ]
+        if not specs:
+            return None
+        return QueryBatch(self.system, specs).plan()
 
     @staticmethod
     def _route(unit: PlanUnit):
@@ -132,7 +170,8 @@ class Executor:
 
     # -- execution ------------------------------------------------------------
 
-    def _run(self, plans: list[LogicalPlan], num_threads, runner_options):
+    def _run(self, plans: list[LogicalPlan], num_threads, runner_options,
+             num_shards=None):
         batch_specs: list[BatchQuery] = []
         layouts: list[list[tuple[PlanUnit, int | None]]] = []
         interactive_total = 0
@@ -159,7 +198,8 @@ class Executor:
         batch_results: list = []
         if batch_specs:
             batch_results = QueryBatch(
-                self.system, batch_specs, num_threads=num_threads).execute()
+                self.system, batch_specs, num_threads=num_threads,
+                num_shards=num_shards).execute()
         self.last_dispatch = {"batched_units": len(batch_specs),
                               "interactive_units": interactive_total}
         results = []

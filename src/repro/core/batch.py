@@ -244,17 +244,23 @@ class QueryBatch:
         queries: an iterable of :class:`BatchQuery` (or SQL strings,
             :class:`QueryPlan` objects, or keyword dicts).
         num_threads: server-side thread count (default: system setting).
+        num_shards: χ-table shard count for this batch (default: system
+            setting, i.e. the servers' own shard plans; ``1`` forces the
+            unsharded thread sweep for this batch only).
 
     After :meth:`execute`, :attr:`stats` reports how much work fusion
     saved: sweep counts per family, deduplicated rows, and the
     indicator-cache counters.
     """
 
-    def __init__(self, system, queries, num_threads: int | None = None):
+    def __init__(self, system, queries, num_threads: int | None = None,
+                 num_shards: int | None = None):
         self.system = system
         self.queries = [BatchQuery.coerce(q) for q in queries]
         self.num_threads = (num_threads if num_threads is not None
                             else system.num_threads)
+        # None = defer to each server's deployment-default shard plan.
+        self.shard_plan = system.shard_plan_for(num_shards)
         self.timings = PhaseTimings()
         self.stats: dict = {}
         self._plan_built = False
@@ -334,13 +340,24 @@ class QueryBatch:
         fused = (sum(len(r) for r in self._psi_rows.values())
                  + sum(len(r) for r in self._count_rows.values())
                  + sum(len(r) for r in self._psu_rows.values()))
+        groups = sum(
+            1
+            for family_rows in (self._psi_rows, self._count_rows,
+                                self._psu_rows)
+            for rows in family_rows.values() if rows
+        )
         summary = {
             "queries": len(self.queries),
             "psi_rows": sum(len(r) for r in self._psi_rows.values()),
             "count_rows": sum(len(r) for r in self._count_rows.values()),
             "psu_rows": sum(len(r) for r in self._psu_rows.values()),
             "rows_requested": requested,
+            "fused_rows": fused,
             "rows_deduplicated": requested - fused,
+            # Each (family, owner-group) fuses into one sweep on each of
+            # the two additive-share servers; known before execution, so
+            # EXPLAIN can report it without running the query.
+            "indicator_sweeps_planned": 2 * groups,
         }
         self.stats["plan"] = summary
         self._plan_built = True
@@ -412,12 +429,14 @@ class QueryBatch:
                         if family == "psi":
                             out = server.psi_round_batch(
                                 columns, self.num_threads, owner_ids,
-                                subtract_m=subtract)
+                                subtract_m=subtract,
+                                shard_plan=self.shard_plan)
                         else:
                             pf2 = [flags[1] for _, *flags in ordered]
                             out = server.count_round_batch(
                                 columns, self.num_threads, owner_ids,
-                                subtract_m=subtract, use_pf_s2=pf2)
+                                subtract_m=subtract, use_pf_s2=pf2,
+                                shard_plan=self.shard_plan)
                     sweeps += 1
                     transport.broadcast(
                         server.endpoint, receivers,
@@ -435,7 +454,7 @@ class QueryBatch:
                 with self.timings.measure("server"):
                     out = server.psu_round_batch(
                         columns, nonces, self.num_threads, owner_ids,
-                        permute=permute)
+                        permute=permute, shard_plan=self.shard_plan)
                 sweeps += 1
                 transport.broadcast(server.endpoint, receivers,
                                     batch_kind("psu-output", len(columns)),
@@ -590,7 +609,8 @@ class QueryBatch:
                                    batch_kind("z-shares", len(rows)), z_matrix)
                 with self.timings.measure("server"):
                     out = server.aggregate_round_batch(
-                        columns, z_matrix, self.num_threads, owner_ids)
+                        columns, z_matrix, self.num_threads, owner_ids,
+                        shard_plan=self.shard_plan)
                 sweeps += 1
                 transport.broadcast(server.endpoint, receivers,
                                     batch_kind("agg-output", len(rows)), out)
@@ -654,7 +674,8 @@ class QueryBatch:
         return results
 
 
-def run_batch(system, queries, num_threads: int | None = None) -> list:
+def run_batch(system, queries, num_threads: int | None = None,
+              num_shards: int | None = None) -> list:
     """Plan and execute a batch of queries; results in input order.
 
     Each element of ``queries`` may be a :class:`BatchQuery`, a Table-4
@@ -663,4 +684,5 @@ def run_batch(system, queries, num_threads: int | None = None) -> list:
     would return (see :class:`QueryBatch` for the shared-metadata
     caveats).
     """
-    return QueryBatch(system, queries, num_threads=num_threads).execute()
+    return QueryBatch(system, queries, num_threads=num_threads,
+                      num_shards=num_shards).execute()

@@ -30,6 +30,8 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
+
 from repro.core.batch import QueryBatch
 from repro.core.bucketized import (
     BucketTree,
@@ -43,6 +45,7 @@ from repro.core.results import (
     MedianResult,
     SetResult,
 )
+from repro.core.sharding import ShardPlan, ShardRuntime, attach_sharding
 from repro.crypto.shamir import DEFAULT_FIELD_PRIME
 from repro.data.domain import Domain, ProductDomain
 from repro.data.relation import Relation
@@ -69,6 +72,13 @@ class PrismSystem:
         domain: the PSI/PSU attribute domain.
         seed: master seed for all parameters and share randomness.
         num_threads: default server-side thread count.
+        num_shards: default χ-table shard count.  ``> 1`` partitions every
+            share vector into that many contiguous shards and runs the
+            batched kernels shard-parallel on a persistent forked worker
+            pool shared by all three servers (threads when worker
+            processes are unavailable).  Results are bit-identical to the
+            unsharded path.  Call :meth:`close` (or use the system as a
+            context manager) to release the pool.
         delta: override the additive-group prime.
         alpha: the ``eta' = alpha * eta`` multiplier.
         field_prime: Shamir field prime.
@@ -85,7 +95,7 @@ class PrismSystem:
     """
 
     def __init__(self, relations: list[Relation], domain: Domain | ProductDomain,
-                 seed: int = 0, num_threads: int = 1,
+                 seed: int = 0, num_threads: int = 1, num_shards: int = 1,
                  delta: int | None = None, alpha: int = 13,
                  field_prime: int = DEFAULT_FIELD_PRIME,
                  value_bound: int = 10_000,
@@ -117,7 +127,13 @@ class PrismSystem:
         )
         self._executor = None
         self._nonce = 0
+        self._nonce_lock = threading.Lock()
         self._bucket_trees: dict[str, BucketTree] = {}
+        self.num_shards = max(1, int(num_shards))
+        self._shard_runtime = None
+        if self.num_shards > 1:
+            default_plan = attach_sharding(self.servers, self.num_shards)
+            self._shard_runtime = default_plan.runtime
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -147,6 +163,12 @@ class PrismSystem:
         # The outsourced snapshot changed: previously dealt indicator
         # shares no longer correspond to current query results.
         self.initiator.indicator_cache.invalidate()
+        if self._shard_runtime is not None:
+            # Fork the worker pool now, from this (outsourcing) thread:
+            # the put-burst is over, and forking here — rather than on a
+            # client's scheduler thread at first dispatch — avoids the
+            # fork-while-multi-threaded hazard.
+            self._shard_runtime.prewarm(self.domain.size, self.num_shards)
 
     def outsource_bucketized(self, psi_attribute, fanout: int = 10) -> BucketTree:
         """Phase 1 for bucketized PSI: per-level χ columns (§6.6)."""
@@ -171,20 +193,69 @@ class PrismSystem:
         return self._bucket_trees[key]
 
     def next_nonce(self) -> int:
-        """Fresh query nonce (PSU mask stream freshness)."""
-        self._nonce += 1
-        return self._nonce
+        """Fresh query nonce (PSU mask stream freshness).
+
+        Locked: concurrent submitters (``client.submit`` from many
+        threads, parallel ``run_batch`` calls) must never draw the same
+        nonce — a duplicate would replay an Eq. 18 mask stream.
+        """
+        with self._nonce_lock:
+            self._nonce += 1
+            return self._nonce
+
+    # -- sharded execution ----------------------------------------------------
+
+    def shard_plan_for(self, num_shards: int | None) -> ShardPlan | None:
+        """A per-call :class:`ShardPlan` override for the batched kernels.
+
+        ``None`` keeps the servers' deployment default; ``<= 1`` returns
+        an explicit thread-only plan (disables sharding for the call);
+        ``> 1`` binds the requested shard count to the deployment's
+        shared worker-pool runtime (created on first use).
+        """
+        if num_shards is None:
+            return None
+        num_shards = int(num_shards)
+        if num_shards <= 1:
+            return ShardPlan(1, None)
+        if self._shard_runtime is None:
+            self._shard_runtime = ShardRuntime(self.servers)
+            # Fork once, now, on the requesting thread — not later on a
+            # scheduler thread mid-dispatch (fork-while-threaded hazard).
+            self._shard_runtime.prewarm(self.domain.size, num_shards)
+        return ShardPlan(num_shards, self._shard_runtime)
+
+    def close(self) -> None:
+        """Release execution resources: worker pool and server thread pools.
+
+        Idempotent; the system stays usable afterwards (pools are
+        re-created lazily), so this is a quiesce as much as a teardown.
+        """
+        if self._shard_runtime is not None:
+            self._shard_runtime.close()
+        for server in self.servers:
+            close = getattr(server, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "PrismSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def relations(self) -> list[Relation]:
         return [owner.relation for owner in self.owners]
 
-    def client(self, num_threads: int | None = None):
+    def client(self, num_threads: int | None = None,
+               num_shards: int | None = None):
         """Open a session-style :class:`repro.api.PrismClient` on this
         deployment (per-session query/traffic stats, ``EXPLAIN``, fluent
-        builders)."""
+        builders, concurrent ``submit`` with batch coalescing)."""
         from repro.api.client import PrismClient
-        return PrismClient(self, num_threads=num_threads)
+        return PrismClient(self, num_threads=num_threads,
+                           num_shards=num_shards)
 
     # -- the unified execution path -------------------------------------------
 
@@ -201,7 +272,8 @@ class PrismSystem:
             self._executor = Executor(self)
         return self._executor
 
-    def run_batch(self, queries, num_threads: int | None = None) -> list:
+    def run_batch(self, queries, num_threads: int | None = None,
+                  num_shards: int | None = None) -> list:
         """Execute many queries as fused server sweeps (Phase 2–4 at once).
 
         The batch planner groups the queries by kernel family and runs
@@ -221,11 +293,14 @@ class PrismSystem:
                 Table-4 SQL strings, parsed query plans, or keyword dicts.
             num_threads: server-side thread count (default: system
                 setting).
+            num_shards: χ-table shard count for this batch (default:
+                system setting; ``1`` forces the unsharded sweep).
 
         Returns:
             One result object per query, in input order.
         """
-        return QueryBatch(self, queries, num_threads=num_threads).execute()
+        return QueryBatch(self, queries, num_threads=num_threads,
+                          num_shards=num_shards).execute()
 
     def _lower(self, set_op, attribute, kwargs, aggregates=(), verify=False,
                reveal_holders=True, bucketized=False):

@@ -86,6 +86,36 @@ class SeededPRG:
         raw = np.frombuffer(self.bytes(8 * n), dtype="<u8")
         return (raw % np.uint64(span)).astype(np.int64) + low
 
+    def integers_at(self, offset: int, n: int, low: int,
+                    high: int) -> np.ndarray:
+        """Draws ``offset .. offset+n`` of a *fresh* generator's
+        :meth:`integers` stream, without consuming this instance's state.
+
+        Counter mode makes the stream seekable: the sharded PSU kernel
+        uses this so each χ shard's worker derives exactly its span of
+        the Eq. 18 mask vector — bit-identical to slicing the full
+        stream, with no serial full-length generation anywhere.
+        """
+        if high <= low:
+            raise ParameterError(f"empty range [{low}, {high})")
+        if offset < 0 or n < 0:
+            raise ParameterError(
+                f"stream window [{offset}, {offset + n}) must be non-negative"
+            )
+        start = 8 * offset
+        end = start + 8 * n
+        first = start // _BLOCK_BYTES
+        last = -(-end // _BLOCK_BYTES)  # ceil
+        key, sha, pack = self._key, hashlib.sha256, struct.pack
+        blob = b"".join(
+            sha(key + pack("<Q", counter)).digest()
+            for counter in range(first, last)
+        )
+        base = first * _BLOCK_BYTES
+        raw = np.frombuffer(blob[start - base:end - base], dtype="<u8")
+        span = high - low
+        return (raw % np.uint64(span)).astype(np.int64) + low
+
     def integer(self, low: int, high: int) -> int:
         """One integer uniform in ``[low, high)`` (arbitrary precision).
 

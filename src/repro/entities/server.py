@@ -15,12 +15,21 @@ Kernels implemented here:
 * :meth:`extrema_collect` / :meth:`fpos_round` — the §6.3 max machinery.
 
 The heavy kernels accept a ``num_threads`` argument and chunk the χ table
-across a thread pool (numpy releases the GIL inside vector ops), which is
-what Exp 1 (Fig. 3) sweeps.
+across a *persistent* per-server thread pool (numpy releases the GIL
+inside vector ops), which is what Exp 1 (Fig. 3) sweeps.  The batched
+2-D kernels additionally accept a
+:class:`~repro.core.sharding.ShardPlan`: when the plan names more than
+one shard and the server is an unmodified base-class instance, the sweep
+is dispatched shard-parallel to the deployment's forked worker pool
+(:class:`~repro.core.sharding.ShardRuntime`), falling back to the thread
+pool — with ``num_shards`` chunks — when worker processes are
+unavailable, and to the per-row 1-D kernels when a subclass overrides
+them (so malicious / instrumented servers keep misbehaving per shard).
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -39,17 +48,6 @@ def _chunk_bounds(n: int, num_chunks: int) -> list[tuple[int, int]]:
     return [(lo, min(lo + step, n)) for lo in range(0, n, step)] or [(0, 0)]
 
 
-def _run_chunked(kernel, n: int, num_threads: int) -> None:
-    """Run ``kernel(lo, hi)`` over chunks, threaded when requested."""
-    bounds = _chunk_bounds(n, num_threads)
-    if num_threads <= 1 or len(bounds) == 1:
-        for lo, hi in bounds:
-            kernel(lo, hi)
-        return
-    with ThreadPoolExecutor(max_workers=num_threads) as pool:
-        list(pool.map(lambda span: kernel(*span), bounds))
-
-
 class PrismServer:
     """An honest Prism server.
 
@@ -63,6 +61,108 @@ class PrismServer:
         self.params = params
         self.store = ServerStore()
         self.endpoint = Endpoint(Role.SERVER, index)
+        #: Default :class:`~repro.core.sharding.ShardPlan` for the batched
+        #: kernels (set by ``attach_sharding``; ``None`` = thread sweeps).
+        self.shard_plan = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_workers = 0
+        self._pool_cond = threading.Condition()
+        self._retired_pools: list[ThreadPoolExecutor] = []
+        self._active_sweeps = 0
+
+    # -- execution machinery --------------------------------------------------
+
+    def _thread_pool(self, num_workers: int) -> ThreadPoolExecutor:
+        """The persistent chunk pool, grown (never shrunk) on demand.
+
+        One pool lives for the server's lifetime instead of being rebuilt
+        inside every chunked kernel call — pool construction/teardown was
+        pure per-call overhead on the serving path.  Growth *retires* the
+        old pool rather than shutting it down: a concurrent kernel call
+        may still be submitting to it, and retired pools (bounded by the
+        handful of growth events) are reaped in :meth:`close`.
+
+        Called under ``_pool_cond``.
+        """
+        if self._pool is None or self._pool_workers < num_workers:
+            if self._pool is not None:
+                self._retired_pools.append(self._pool)
+            self._pool = ThreadPoolExecutor(
+                max_workers=num_workers,
+                thread_name_prefix=f"prism-server{self.index}")
+            self._pool_workers = num_workers
+        return self._pool
+
+    def _run_chunked(self, kernel, n: int, num_threads: int) -> None:
+        """Run ``kernel(lo, hi)`` over chunks, threaded when requested."""
+        bounds = _chunk_bounds(n, num_threads)
+        if num_threads <= 1 or len(bounds) == 1:
+            for lo, hi in bounds:
+                kernel(lo, hi)
+            return
+        with self._pool_cond:
+            pool = self._thread_pool(min(num_threads, len(bounds)))
+            self._active_sweeps += 1
+        try:
+            list(pool.map(lambda span: kernel(*span), bounds))
+        finally:
+            with self._pool_cond:
+                self._active_sweeps -= 1
+                self._pool_cond.notify_all()
+
+    def close(self) -> None:
+        """Quiesce and release the persistent thread pools (idempotent).
+
+        Waits for in-flight chunked sweeps to finish rather than pulling
+        their pool out from under them; the server stays usable
+        afterwards (a later kernel call builds a fresh pool).
+        """
+        with self._pool_cond:
+            while self._active_sweeps:
+                self._pool_cond.wait()
+            pools = list(self._retired_pools)
+            if self._pool is not None:
+                pools.append(self._pool)
+            self._pool = None
+            self._pool_workers = 0
+            self._retired_pools = []
+        for pool in pools:
+            pool.shutdown(wait=True)
+
+    def _active_shard_plan(self, shard_plan):
+        """The effective plan for a batched call (``None`` = unsharded)."""
+        plan = shard_plan if shard_plan is not None else self.shard_plan
+        if plan is None or plan.num_shards <= 1:
+            return None
+        return plan
+
+    def _process_plan(self, plan):
+        """``plan`` if its worker pool may execute this server's sweeps.
+
+        Process dispatch bypasses Python-level methods entirely, so it is
+        reserved for unmodified base-class behaviour: any override of the
+        fetch layer (instrumented servers tracing access patterns) keeps
+        the sweep in-process where the override still fires.  Kernel
+        overrides are checked by each caller before reaching this point.
+        """
+        if plan is None or plan.runtime is None or not plan.runtime.available:
+            return None
+        if self._kernel_overridden("fetch_additive", "fetch_shamir"):
+            return None
+        if type(self.store) is not ServerStore:
+            return None
+        return plan
+
+    def _sweep_chunks(self, num_threads: int, plan) -> int:
+        """Thread-fallback chunk count: honour the shard plan via threads."""
+        return max(num_threads, plan.num_shards if plan is not None else 1)
+
+    def _owners_by_column(self, columns, owner_ids) -> list[list[int]]:
+        """Resolved per-column owner lists, mirroring ``fetch_column``."""
+        if owner_ids is not None:
+            owners = list(owner_ids)
+            return [owners for _ in columns]
+        return [self.store.owners_with(column) for column in columns]
 
     # -- storage ------------------------------------------------------------
 
@@ -97,7 +197,7 @@ class PrismServer:
 
         # Sum of m shares each < delta stays far below int64 overflow for
         # every supported (m, delta), so one final mod per chunk suffices.
-        _run_chunked(kernel, n, num_threads)
+        self._run_chunked(kernel, n, num_threads)
         return acc
 
     def psi_round(self, column: str, num_threads: int = 1,
@@ -141,7 +241,7 @@ class PrismServer:
         def kernel(lo: int, hi: int) -> None:
             out[lo:hi] = table[np.mod(exponents[lo:hi], delta)]
 
-        _run_chunked(kernel, exponents.shape[0], num_threads)
+        self._run_chunked(kernel, exponents.shape[0], num_threads)
         return out
 
     def verification_round(self, column: str, num_threads: int = 1,
@@ -177,7 +277,7 @@ class PrismServer:
         def kernel(lo: int, hi: int) -> None:
             out[lo:hi] = np.mod(summed[lo:hi] * rand[lo:hi], self.params.delta)
 
-        _run_chunked(kernel, summed.shape[0], num_threads)
+        self._run_chunked(kernel, summed.shape[0], num_threads)
         return out
 
     def count_round(self, column: str, num_threads: int = 1,
@@ -237,7 +337,7 @@ class PrismServer:
                 local += np.mod(s[lo:hi] * z, p)
                 np.mod(local, p, out=local)
 
-        _run_chunked(kernel, n, num_threads)
+        self._run_chunked(kernel, n, num_threads)
         return acc
 
     # -- batched 2-D kernels (multi-query fused sweeps) ------------------------
@@ -294,7 +394,7 @@ class PrismServer:
 
     def psi_round_batch(self, columns, num_threads: int = 1,
                         owner_ids: list[int] | None = None,
-                        subtract_m=None) -> np.ndarray:
+                        subtract_m=None, shard_plan=None) -> np.ndarray:
         """Fused multi-query Eq. 3 / Eq. 7 sweep (2-D :meth:`psi_round`).
 
         Row ``q`` of the returned ``(Q, b)`` matrix is bit-identical to
@@ -307,6 +407,10 @@ class PrismServer:
         branch-free over the full table, so access-pattern hiding is
         preserved — the instruction sequence depends only on the batch
         shape, never on the data.
+
+        ``shard_plan`` (default: the server's own plan) runs the sweep
+        shard-parallel on the deployment's worker pool; outputs stay
+        bit-identical to the unsharded sweep for every shard count.
         """
         if not len(columns):
             raise ProtocolError("batched PSI sweep needs at least one column")
@@ -325,6 +429,13 @@ class PrismServer:
         delta = self.params.delta
         table = self.params.group.power_table
         m_rows = self._batch_m_shares(subtract_m, num_owners, owner_ids)
+        plan = self._active_shard_plan(shard_plan)
+        if self._process_plan(plan) is not None:
+            out = plan.runtime.run_psi(
+                self, columns, self._owners_by_column(columns, owner_ids),
+                m_rows, n, plan.num_shards)
+            if out is not None:
+                return out
         acc = np.zeros((len(columns), n), dtype=np.int64)
         out = np.empty_like(acc)
 
@@ -338,12 +449,13 @@ class PrismServer:
             np.mod(local, delta, out=local)
             out[:, lo:hi] = table[local]
 
-        _run_chunked(kernel, n, num_threads)
+        self._run_chunked(kernel, n, self._sweep_chunks(num_threads, plan))
         return out
 
     def count_round_batch(self, columns, num_threads: int = 1,
                           owner_ids: list[int] | None = None,
-                          subtract_m=None, use_pf_s2=None) -> np.ndarray:
+                          subtract_m=None, use_pf_s2=None,
+                          shard_plan=None) -> np.ndarray:
         """Fused multi-query §6.5 sweep (2-D :meth:`count_round`).
 
         Data-stream rows (``subtract_m`` true, the default) leave permuted
@@ -376,7 +488,8 @@ class PrismServer:
                         "data/proof row shapes"
                     )
             return np.stack(rows)
-        out = self.psi_round_batch(columns, num_threads, owner_ids, subtract_m)
+        out = self.psi_round_batch(columns, num_threads, owner_ids, subtract_m,
+                                   shard_plan=shard_plan)
         for row, flag in enumerate(use_pf_s2):
             pf = self.params.pf_s2 if flag else self.params.pf_s1
             out[row] = pf.apply(out[row])
@@ -384,7 +497,7 @@ class PrismServer:
 
     def psu_round_batch(self, columns, query_nonces, num_threads: int = 1,
                         owner_ids: list[int] | None = None,
-                        permute=None) -> np.ndarray:
+                        permute=None, shard_plan=None) -> np.ndarray:
         """Fused multi-query Eq. 18 sweep (2-D :meth:`psu_round`).
 
         Row ``q`` equals ``psu_round(columns[q], query_nonces[q])`` — each
@@ -392,6 +505,12 @@ class PrismServer:
         are computed once per *distinct* column and broadcast across the
         rows that reference it.  ``permute[q]`` additionally applies
         ``PF_s1`` to row ``q`` (the PSU-Count path).
+
+        Under a ``shard_plan``, each worker seeks the common counter-mode
+        PRG to its own span of every row's Eq. 18 mask stream
+        (:meth:`~repro.crypto.prg.SeededPRG.integers_at`), so mask
+        generation — the dominant PSU cost — shards along with the
+        sweep, bit-identically to slicing the full-length stream.
         """
         if not len(columns):
             raise ProtocolError("batched PSU sweep needs at least one column")
@@ -411,6 +530,17 @@ class PrismServer:
         share_lists = [self.fetch_additive(c, owner_ids) for c in uniq]
         _, n = self._check_uniform(uniq, share_lists)
         delta = self.params.delta
+        plan = self._active_shard_plan(shard_plan)
+        if self._process_plan(plan) is not None:
+            # Workers derive their own span of each row's Eq. 18 mask
+            # stream (counter-mode PRG is seekable), so the dominant
+            # serial cost of PSU — full-length mask generation — shards
+            # along with the sweep.
+            out = plan.runtime.run_psu(
+                self, uniq, self._owners_by_column(uniq, owner_ids),
+                row_map, list(query_nonces), n, plan.num_shards)
+            if out is not None:
+                return self._apply_psu_permute(out, permute)
         rand = np.stack([
             SeededPRG(self.params.prg_seed, f"psu-{nonce}").integers(n, 1, delta)
             for nonce in query_nonces
@@ -427,7 +557,7 @@ class PrismServer:
             np.mod(local, delta, out=local)
             out[:, lo:hi] = np.mod(local[row_map] * rand[:, lo:hi], delta)
 
-        _run_chunked(kernel, n, num_threads)
+        self._run_chunked(kernel, n, self._sweep_chunks(num_threads, plan))
         return self._apply_psu_permute(out, permute)
 
     def _apply_psu_permute(self, out: np.ndarray, permute) -> np.ndarray:
@@ -440,13 +570,16 @@ class PrismServer:
 
     def aggregate_round_batch(self, columns, z_matrix: np.ndarray,
                               num_threads: int = 1,
-                              owner_ids: list[int] | None = None) -> np.ndarray:
+                              owner_ids: list[int] | None = None,
+                              shard_plan=None) -> np.ndarray:
         """Fused multi-query Eq. 11 sweep (2-D :meth:`aggregate_round`).
 
         ``z_matrix`` stacks one indicator-share vector per query row;
         ``columns[q]`` names the Shamir aggregation column row ``q``
         multiplies into.  Row ``q`` is bit-identical to
-        ``aggregate_round(columns[q], z_matrix[q])``.
+        ``aggregate_round(columns[q], z_matrix[q])``.  Under a
+        ``shard_plan`` the querier-dealt ``z_matrix`` reaches the workers
+        through the shared scratch and the sweep runs shard-parallel.
         """
         if not len(columns):
             raise ProtocolError("batched aggregation needs at least one column")
@@ -469,6 +602,13 @@ class PrismServer:
                 f"z vector length {z_matrix.shape[1]} does not match column "
                 f"length {n}"
             )
+        plan = self._active_shard_plan(shard_plan)
+        if self._process_plan(plan) is not None:
+            out = plan.runtime.run_agg(
+                self, columns, self._owners_by_column(columns, owner_ids),
+                z_matrix, n, plan.num_shards)
+            if out is not None:
+                return out
         p = self.params.field_prime
         acc = np.zeros((len(columns), n), dtype=np.int64)
 
@@ -483,7 +623,7 @@ class PrismServer:
                     row += np.mod(s[lo:hi] * z, p)
                     np.mod(row, p, out=row)
 
-        _run_chunked(kernel, n, num_threads)
+        self._run_chunked(kernel, n, self._sweep_chunks(num_threads, plan))
         return acc
 
     # -- extrema machinery (§6.3) ---------------------------------------------

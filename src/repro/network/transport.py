@@ -12,6 +12,8 @@ orchestrator, which hands it to the receiving entity.  What it *does* do:
 
 from __future__ import annotations
 
+import threading
+
 from repro.exceptions import ProtocolError
 from repro.network.message import Endpoint, Message, Role, payload_nbytes
 
@@ -31,16 +33,23 @@ class TrafficStats:
         self._total_bytes = 0
         self._bytes_by_pair: dict[tuple[Role, Role], int] = {}
         self._messages_by_kind: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def record(self, message: Message) -> None:
-        """Append one transfer to the log and the running counters."""
-        self.messages.append(message)
-        self._total_bytes += message.nbytes
-        pair = (message.sender.role, message.receiver.role)
-        self._bytes_by_pair[pair] = (
-            self._bytes_by_pair.get(pair, 0) + message.nbytes)
-        self._messages_by_kind[message.kind] = (
-            self._messages_by_kind.get(message.kind, 0) + 1)
+        """Append one transfer to the log and the running counters.
+
+        Locked: the read-add-store counter updates would otherwise lose
+        increments under concurrent queries (scheduler thread + direct
+        callers share one transport).
+        """
+        with self._lock:
+            self.messages.append(message)
+            self._total_bytes += message.nbytes
+            pair = (message.sender.role, message.receiver.role)
+            self._bytes_by_pair[pair] = (
+                self._bytes_by_pair.get(pair, 0) + message.nbytes)
+            self._messages_by_kind[message.kind] = (
+                self._messages_by_kind.get(message.kind, 0) + 1)
 
     @property
     def total_bytes(self) -> int:

@@ -390,6 +390,23 @@ class TestExplain:
         assert "interactive runner" in \
             client.explain(Q.psi("disease").max("age"))
 
+    def test_explain_reports_batch_plan_savings(self):
+        """EXPLAIN surfaces QueryBatch.plan() stats without executing."""
+        system = build_hospitals()
+        client = PrismClient(system)
+        system.transport.reset()
+        # SUM + AVG over one attribute share a single Eq. 3 sweep row.
+        text = client.explain(Q.psi("disease").sum("cost").avg("age"))
+        assert "1 fused rows for 2 requested" in text
+        assert "1 rows_deduplicated" in text
+        assert "2 fused indicator sweeps" in text
+        assert system.transport.stats.total_messages == 0  # nothing ran
+
+    def test_explain_of_interactive_plan_has_no_batch_stats(self):
+        client = PrismClient(build_hospitals())
+        text = client.explain(Q.psi("disease").max("age"))
+        assert "batch plan" not in text
+
     def test_describe_matches_plan(self):
         sql = branches("disease, SUM(cost)", "psi") + " VERIFY"
         text = parse_sql(sql).describe()

@@ -45,6 +45,27 @@ class TestIntegers:
         values = SeededPRG(4).integers(5000, 0, 10)
         assert set(values.tolist()) == set(range(10))
 
+    def test_integers_at_matches_stream_slices(self):
+        """Seekable access returns exactly integers()[offset:offset+n]."""
+        full = SeededPRG(42, "seek").integers(100, 1, 9973)
+        prg = SeededPRG(42, "seek")
+        for offset, n in [(0, 100), (0, 1), (3, 7), (17, 40), (99, 1),
+                          (50, 0), (4, 96)]:
+            window = prg.integers_at(offset, n, 1, 9973)
+            assert np.array_equal(window, full[offset:offset + n])
+        # Seeking never consumes the instance's own stream state.
+        assert np.array_equal(prg.integers(100, 1, 9973), full)
+
+    def test_integers_at_empty_range_rejected(self):
+        with pytest.raises(ParameterError):
+            SeededPRG(1).integers_at(0, 4, 5, 5)
+
+    def test_integers_at_negative_window_rejected(self):
+        with pytest.raises(ParameterError):
+            SeededPRG(1).integers_at(-2, 4, 0, 10)
+        with pytest.raises(ParameterError):
+            SeededPRG(1).integers_at(3, -2, 0, 10)
+
     def test_empty_range_rejected(self):
         with pytest.raises(ParameterError):
             SeededPRG(0).integers(1, 5, 5)

@@ -1,0 +1,196 @@
+"""The concurrent coalescing scheduler (PrismClient.submit).
+
+The contract under test: submissions in flight at a drain tick execute
+as ONE fused QueryBatch (observable on the wire as ``batch:*[k]`` with
+k >= 2), results are identical to sequential execution, and a failing
+query poisons only its own future.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Domain, PrismSystem, Q, Relation
+from repro.exceptions import VerificationError
+
+
+def build_hospitals(**kwargs):
+    relations = [
+        Relation("hospital1", {
+            "disease": ["Cancer", "Cancer", "Heart"],
+            "cost": [100, 200, 300],
+            "age": [4, 6, 2],
+        }),
+        Relation("hospital2", {
+            "disease": ["Cancer", "Fever", "Fever"],
+            "cost": [100, 70, 50],
+            "age": [8, 5, 4],
+        }),
+        Relation("hospital3", {
+            "disease": ["Cancer", "Cancer", "Heart"],
+            "cost": [300, 700, 500],
+            "age": [8, 4, 5],
+        }),
+    ]
+    domain = Domain("disease", ["Cancer", "Fever", "Heart"])
+    return PrismSystem.build(relations, domain, "disease",
+                             agg_attributes=("cost", "age"),
+                             with_verification=True, seed=11, **kwargs)
+
+
+def test_submit_returns_future_with_correct_result():
+    system = build_hospitals()
+    with system.client() as client:
+        future = client.submit(Q.psi("disease"))
+        assert future.result(timeout=60).values == ["Cancer"]
+        assert client.stats["scheduler"]["submitted"] == 1
+
+
+def test_concurrent_submissions_coalesce_into_one_fused_batch():
+    """Acceptance: >= 2 in-flight queries run as one batch:*[k], k >= 2."""
+    system = build_hospitals()
+    with system.client() as client:
+        with client.hold():
+            f1 = client.submit(Q.psi("disease"))
+            f2 = client.submit(Q.psi("disease").verify())
+        r1 = f1.result(timeout=60)
+        r2 = f2.result(timeout=60)
+    assert r1.values == ["Cancer"]
+    assert r2.values == ["Cancer"] and r2.verified
+    kinds = system.transport.stats.messages_by_kind
+    # One fused sweep carried both queries' rows: the verified query's
+    # data row deduplicated onto the unverified one, plus its proof row.
+    assert kinds.get("batch:psi-output[2]", 0) > 0
+    assert "batch:psi-output[1]" not in kinds
+    assert client.stats["scheduler"]["ticks"] == 1
+    assert client.stats["scheduler"]["max_coalesced"] == 2
+
+
+def test_submissions_from_many_threads_coalesce():
+    """Truly concurrent submitters share one tick (under hold)."""
+    system = build_hospitals()
+    queries = [Q.psi("disease"), Q.psu("disease"),
+               Q.psi("disease").count(), Q.psu("disease").count()]
+    futures = [None] * len(queries)
+    with system.client() as client:
+        barrier = threading.Barrier(len(queries))
+
+        def worker(slot, query):
+            barrier.wait()
+            futures[slot] = client.submit(query)
+
+        with client.hold():
+            threads = [threading.Thread(target=worker, args=(i, q))
+                       for i, q in enumerate(queries)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        results = [f.result(timeout=60) for f in futures]
+    assert results[0].values == ["Cancer"]
+    assert sorted(results[1].values) == ["Cancer", "Fever", "Heart"]
+    assert results[2].count == 1
+    assert results[3].count == 3
+    assert client.stats["scheduler"]["max_coalesced"] == len(queries)
+    assert client.stats["scheduler"]["ticks"] == 1
+
+
+def test_submit_without_hold_still_completes():
+    """The steady-state path: no pinning, the window does the batching."""
+    system = build_hospitals()
+    with system.client() as client:
+        futures = [client.submit(Q.psi("disease")) for _ in range(5)]
+        for future in futures:
+            assert future.result(timeout=60).values == ["Cancer"]
+        stats = client.stats["scheduler"]
+        assert stats["submitted"] == 5
+        assert 1 <= stats["ticks"] <= 5
+
+
+def test_failing_query_poisons_only_its_own_future():
+    system = build_hospitals()
+    # Tamper one share so any *verified* PSI fails while unverified
+    # queries keep succeeding.
+    server = system.servers[0]
+    stored = server.store.get(0, "disease")
+    tampered = stored.values.copy()
+    tampered[0] = (tampered[0] + 1) % system.initiator.delta
+    server.store.put(0, "disease", tampered, stored.kind)
+    with system.client() as client:
+        with client.hold():
+            good = client.submit(Q.psu("disease"))
+            bad = client.submit(Q.psi("disease").verify())
+        assert sorted(good.result(timeout=60).values) == \
+            ["Cancer", "Fever", "Heart"]
+        with pytest.raises(VerificationError):
+            bad.result(timeout=60)
+
+
+def test_unlowerable_submission_fails_only_itself():
+    system = build_hospitals()
+    with system.client() as client:
+        with client.hold():
+            good = client.submit(Q.psi("disease"))
+            bad = client.submit(object())  # not a query in any form
+        assert good.result(timeout=60).values == ["Cancer"]
+        with pytest.raises(Exception):
+            bad.result(timeout=60)
+
+
+def test_submit_explain_resolves_immediately():
+    system = build_hospitals()
+    with system.client() as client:
+        future = client.submit(
+            "EXPLAIN SELECT disease FROM h1 INTERSECT SELECT disease FROM h2")
+        text = future.result(timeout=60)
+    assert "fused batch kernel" in text
+    assert "rows_deduplicated" in text
+
+
+def test_close_drains_pending_and_rejects_new_submissions():
+    system = build_hospitals()
+    client = system.client()
+    with client.hold():
+        future = client.submit(Q.psi("disease"))
+        # Close while held: close overrides the hold and drains.
+        client.close()
+    assert future.result(timeout=60).values == ["Cancer"]
+    with pytest.raises(RuntimeError):
+        client.submit(Q.psi("disease"))
+    client.close()  # idempotent
+
+
+def test_submit_matches_execute_results():
+    system = build_hospitals()
+    with system.client() as client:
+        sequential = client.execute(Q.psi("disease").sum("cost"))
+        future = client.submit(Q.psi("disease").sum("cost"))
+        assert future.result(timeout=60).per_value == sequential.per_value
+
+
+def test_session_accounting_covers_submissions():
+    system = build_hospitals()
+    with system.client() as client:
+        with client.hold():
+            futures = [client.submit(Q.psi("disease")),
+                       client.submit(Q.psu("disease"))]
+        for future in futures:
+            future.result(timeout=60)
+        stats = client.stats
+    assert stats["queries"] == 2
+    assert stats["by_kind"] == {"psi": 1, "psu": 1}
+    assert stats["batched_units"] == 2
+    assert stats["traffic"]["messages"] > 0
+
+
+def test_submit_on_sharded_deployment():
+    with build_hospitals(num_shards=2) as system:
+        with system.client() as client:
+            with client.hold():
+                futures = [client.submit(Q.psi("disease")),
+                           client.submit(Q.psi("disease").verify())]
+            assert futures[0].result(timeout=60).values == ["Cancer"]
+            assert futures[1].result(timeout=60).verified
+        assert system._shard_runtime.dispatches > 0

@@ -1,0 +1,354 @@
+"""The sharded χ-table execution layer (repro.core.sharding).
+
+The contract under test: for every batchable Table-4 query kind, the
+sharded path — worker processes over contiguous χ shards — returns
+results *bit-identical* to the unsharded thread sweep, for every shard
+count, owner subset, and transport accounting; and the fallbacks
+(threads, per-row kernels for overridden subclasses) keep malicious /
+instrumented servers behaving exactly as they do unsharded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BatchQuery, Domain, PrismSystem, Relation
+from repro.core.sharding import (
+    ShardPlan,
+    ShardRuntime,
+    attach_sharding,
+    processes_available,
+    shard_bounds,
+)
+from repro.entities.adversary import SkipCellsServer
+from repro.entities.server import PrismServer
+from repro.exceptions import VerificationError
+
+pytestmark = pytest.mark.skipif(
+    not processes_available(),
+    reason="fork-based worker pools unsupported on this platform",
+)
+
+
+def build_fleet(num_shards: int = 1, num_values: int = 41, **kwargs):
+    """A 3-owner deployment over a domain wide enough to span shards."""
+    values = list(range(num_values))
+    relations = [
+        Relation("o0", {"A": values[::2], "cost": [v + 1 for v in values[::2]]}),
+        Relation("o1", {"A": values[::3], "cost": [v + 2 for v in values[::3]]}),
+        Relation("o2", {"A": values[::5], "cost": [v + 3 for v in values[::5]]}),
+    ]
+    domain = Domain("A", values)
+    return PrismSystem.build(relations, domain, "A",
+                             agg_attributes=("cost",),
+                             with_verification=True, seed=13,
+                             num_shards=num_shards, **kwargs)
+
+
+#: One query per batchable Table-4 kind (the equivalence matrix).
+TABLE4_QUERIES = [
+    BatchQuery("psi", "A", verify=True),
+    BatchQuery("psu", "A", verify=True),
+    BatchQuery("psi_count", "A", verify=True),
+    BatchQuery("psu_count", "A"),
+    BatchQuery("psi_sum", "A", agg_attributes=("cost",), verify=True),
+    BatchQuery("psi_average", "A", agg_attributes=("cost",)),
+    BatchQuery("psu_sum", "A", agg_attributes=("cost",)),
+    BatchQuery("psu_average", "A", agg_attributes=("cost",)),
+]
+
+
+def assert_identical(query, reference, sharded):
+    if query.kind in ("psi", "psu"):
+        assert sharded.values == reference.values
+        assert np.array_equal(sharded.membership, reference.membership)
+        assert sharded.verified == reference.verified
+    elif query.kind.endswith("count"):
+        assert sharded.count == reference.count
+    else:
+        for agg in query.agg_attributes:
+            assert sharded[agg].per_value == reference[agg].per_value
+            assert sharded[agg].verified == reference[agg].verified
+
+
+# -- bit-identity across shard counts -----------------------------------------
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 7])
+def test_sharded_batch_bit_identical_for_every_kind(num_shards):
+    """Acceptance: every Table-4 kind, num_shards in {1, 2, 7}."""
+    reference = build_fleet().run_batch(TABLE4_QUERIES)
+    with build_fleet(num_shards=num_shards) as system:
+        sharded = system.run_batch(TABLE4_QUERIES)
+        for query, ref, out in zip(TABLE4_QUERIES, reference, sharded):
+            assert_identical(query, ref, out)
+        if num_shards > 1:
+            # The process path really ran (no silent thread fallback).
+            assert system._shard_runtime.dispatches > 0
+
+
+def test_per_call_num_shards_override():
+    """run_batch(num_shards=...) shards an unsharded deployment per call."""
+    reference = build_fleet().run_batch(TABLE4_QUERIES)
+    with build_fleet() as system:
+        sharded = system.run_batch(TABLE4_QUERIES, num_shards=3)
+        for query, ref, out in zip(TABLE4_QUERIES, reference, sharded):
+            assert_identical(query, ref, out)
+        assert system._shard_runtime.dispatches > 0
+        # And num_shards=1 on a sharded system forces the thread sweep.
+    with build_fleet(num_shards=4) as system:
+        before = system._shard_runtime.dispatches
+        system.run_batch(TABLE4_QUERIES, num_shards=1)
+        assert system._shard_runtime.dispatches == before
+
+
+def test_shards_exceeding_chi_length():
+    """More shards than χ cells degrades to one span per cell."""
+    relations = [Relation("a", {"A": [0, 1]}), Relation("b", {"A": [1, 2]})]
+    domain = Domain("A", [0, 1, 2])
+    with PrismSystem.build(relations, domain, "A", seed=3,
+                           num_shards=16) as system:
+        assert system.psi("A").values == [1]
+
+
+def test_sequential_queries_use_deployment_shard_plan():
+    """system.psi() etc. inherit the deployment default plan."""
+    reference = build_fleet()
+    with build_fleet(num_shards=2) as system:
+        assert system.psi("A", verify=True).values == \
+            reference.psi("A", verify=True).values
+        assert system._shard_runtime.dispatches > 0
+
+
+# -- owner subsets through both paths (satellite) -----------------------------
+
+
+SUBSET_QUERIES = [
+    BatchQuery("psi", "A", owner_ids=(0, 1)),
+    BatchQuery("psu", "A", owner_ids=(0, 2)),
+    BatchQuery("psi_count", "A", owner_ids=(1, 2)),
+    BatchQuery("psi_sum", "A", agg_attributes=("cost",), owner_ids=(0, 1)),
+    BatchQuery("psu_count", "A", owner_ids=(0, 1)),
+]
+
+
+def test_owner_subsets_sharded_and_unsharded_identical():
+    """Subset-owner queries: bit-identical results AND identical traffic."""
+    base = build_fleet()
+    unsharded = base.run_batch(SUBSET_QUERIES)
+    with build_fleet(num_shards=5) as system:
+        sharded = system.run_batch(SUBSET_QUERIES)
+        for query, ref, out in zip(SUBSET_QUERIES, unsharded, sharded):
+            assert_identical(query, ref, out)
+        assert system._shard_runtime.dispatches > 0
+        # Sharding is server-internal: the wire protocol must not change.
+        assert (system.transport.stats.messages_by_kind
+                == base.transport.stats.messages_by_kind)
+
+
+def test_subset_and_full_owner_sets_agree_on_membership():
+    """The full set as an explicit subset equals owner_ids=None, sharded."""
+    with build_fleet(num_shards=3) as system:
+        full = system.run_batch([BatchQuery("psi", "A")])[0]
+        explicit = system.run_batch(
+            [BatchQuery("psi", "A", owner_ids=(0, 1, 2))])[0]
+        assert np.array_equal(full.membership, explicit.membership)
+
+
+# -- fallbacks ----------------------------------------------------------------
+
+
+def test_malicious_server_still_caught_under_sharding():
+    """Overridden kernels fall back per row; tampering stays effective."""
+    values = list(range(23))
+    relations = [Relation("a", {"A": values[:12]}),
+                 Relation("b", {"A": values[6:]})]
+    domain = Domain("A", values)
+    with PrismSystem.build(relations, domain, "A", with_verification=True,
+                           seed=9, num_shards=4,
+                           server_factories={0: SkipCellsServer}) as system:
+        with pytest.raises(VerificationError):
+            system.psi("A", verify=True)
+
+
+def test_instrumented_fetch_keeps_thread_path():
+    """A fetch-overriding subclass is never dispatched out of process."""
+    from repro.analysis.access import RecordingServer
+    values = list(range(17))
+    relations = [Relation("a", {"A": values[:9]}),
+                 Relation("b", {"A": values[4:]})]
+    domain = Domain("A", values)
+    with PrismSystem.build(
+            relations, domain, "A", seed=9, num_shards=4,
+            server_factories={i: RecordingServer for i in range(3)}) as system:
+        result = system.psi("A")
+        assert result.values
+        # The recording servers saw their fetches (nothing ran out of
+        # process, where the parent-side trace would stay empty) ...
+        assert all(server.trace for server in system.servers[:2])
+        # ... so the worker pool never dispatched for them.
+        assert system._shard_runtime.dispatches == 0
+
+
+def test_broken_runtime_falls_back_to_threads():
+    reference = build_fleet().run_batch([BatchQuery("psi", "A")])
+    with build_fleet(num_shards=3) as system:
+        system._shard_runtime._broken = True
+        out = system.run_batch([BatchQuery("psi", "A")])
+        assert_identical(BatchQuery("psi", "A"), reference[0], out[0])
+        assert system._shard_runtime.dispatches == 0
+
+
+def test_store_mutation_refreshes_worker_snapshot():
+    """Workers must re-fork after a put(); stale shares would be wrong."""
+    with build_fleet(num_shards=2) as system:
+        first = system.psi("A")
+        assert system._shard_runtime.dispatches > 0
+        server = system.servers[0]
+        stored = server.store.get(0, "A")
+        tampered = stored.values.copy()
+        tampered[0] = (tampered[0] + 1) % system.initiator.delta
+        server.store.put(0, "A", tampered, stored.kind)
+        second = system.psi("A")
+        # The tampered cell flows through the fused sharded sweep: the
+        # result must differ from the honest run somewhere.
+        assert not np.array_equal(first.membership, second.membership)
+
+
+# -- decomposition / plumbing -------------------------------------------------
+
+
+class TestShardBounds:
+    def test_cover_range_contiguously(self):
+        for n in (0, 1, 5, 64, 101):
+            for shards in (1, 2, 7, 64, 200):
+                bounds = shard_bounds(n, shards)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n or (n == 0 and bounds == [(0, 0)])
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+
+    def test_never_more_shards_than_cells(self):
+        assert len(shard_bounds(3, 10)) <= 3
+
+    def test_plan_bounds(self):
+        plan = ShardPlan(4)
+        assert plan.bounds(8) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+
+def test_attach_sharding_wires_servers_and_store():
+    with build_fleet() as system:
+        plan = attach_sharding(system.servers, 3)
+        try:
+            assert all(s.shard_plan is plan for s in system.servers)
+            assert all(s.store.num_shards == 3 for s in system.servers)
+            store = system.servers[0].store
+            whole = store.get(0, "A").values
+            spans = [store.shard_slice(0, "A", lo, hi)
+                     for lo, hi in plan.bounds(whole.shape[0])]
+            assert len(spans) == 3
+            assert np.array_equal(np.concatenate(spans), whole)
+        finally:
+            plan.runtime.close()
+
+
+def test_concurrent_dispatches_do_not_cross_wires():
+    """The deployment-shared scratch is locked: parallel callers on one
+    sharded system must each get their own query's rows back."""
+    import threading
+    expected = build_fleet().run_batch(TABLE4_QUERIES)
+    with build_fleet(num_shards=3) as system:
+        results = [None] * 4
+        errors = []
+        barrier = threading.Barrier(len(results))
+
+        def caller(slot):
+            try:
+                barrier.wait()
+                results[slot] = system.run_batch(TABLE4_QUERIES)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller, args=(i,))
+                   for i in range(len(results))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for outcome in results:
+            for query, ref, out in zip(TABLE4_QUERIES, expected, outcome):
+                assert_identical(query, ref, out)
+
+
+def test_runtime_close_is_idempotent_and_reusable():
+    with build_fleet(num_shards=2) as system:
+        runtime = system._shard_runtime
+        assert isinstance(runtime, ShardRuntime)
+        first = system.psi("A")
+        runtime.close()
+        runtime.close()
+        # A later query lazily re-forks the pool.
+        again = system.psi("A")
+        assert np.array_equal(first.membership, again.membership)
+        assert runtime.dispatches >= 2
+
+
+# -- satellite: persistent per-server thread pool -----------------------------
+
+
+def test_server_reuses_one_thread_pool_across_calls():
+    with build_fleet() as system:
+        server: PrismServer = system.servers[0]
+        assert server._pool is None
+        server.psi_round("A", num_threads=2)
+        pool = server._pool
+        assert pool is not None
+        server.psi_round("A", num_threads=2)
+        assert server._pool is pool  # not rebuilt per call
+        server.psi_round("A", num_threads=4)
+        assert server._pool is not pool  # grown once, then persistent
+        grown = server._pool
+        server.psi_round("A", num_threads=3)
+        assert server._pool is grown
+        server.close()
+        assert server._pool is None
+
+
+# -- satellite: the store fetch memo ------------------------------------------
+
+
+class TestFetchMemo:
+    def test_full_set_and_explicit_full_tuple_share_one_entry(self):
+        with build_fleet() as system:
+            store = system.servers[0].store
+            first = system.servers[0].fetch_additive("A")
+            info = store.fetch_cache_info()
+            second = system.servers[0].fetch_additive("A", owner_ids=[0, 1, 2])
+            after = store.fetch_cache_info()
+            assert after["entries"] == info["entries"]  # same resolved key
+            assert after["hits"] > info["hits"]
+            for a, b in zip(first, second):
+                assert a is b  # the stored vectors, not copies
+
+    def test_put_invalidates(self):
+        with build_fleet() as system:
+            store = system.servers[0].store
+            system.servers[0].fetch_additive("A")
+            version = store.version
+            stored = store.get(0, "A")
+            store.put(0, "A", stored.values.copy(), stored.kind)
+            assert store.version == version + 1
+            assert store.fetch_cache_info()["entries"] == 0
+
+    def test_batch_fetches_each_column_once_per_owner_set(self):
+        with build_fleet() as system:
+            store = system.servers[0].store
+            system.run_batch([
+                BatchQuery("psi", "A", verify=True),
+                BatchQuery("psi", "A"),
+                BatchQuery("psi_count", "A"),
+            ])
+            info = store.fetch_cache_info()
+            assert info["misses"] == info["entries"]
