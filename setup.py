@@ -36,6 +36,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-bench=repro.bench.__main__:main",
+            "repro-entity-host=repro.network.host:main",
         ],
     },
     classifiers=[

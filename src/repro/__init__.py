@@ -49,6 +49,7 @@ from repro.exceptions import (
     ShareError,
     VerificationError,
 )
+from repro.network.rpc import Deployment
 
 __version__ = "1.0.0"
 
@@ -56,6 +57,7 @@ __all__ = [
     "AggregateResult",
     "BatchQuery",
     "CountResult",
+    "Deployment",
     "Domain",
     "DomainError",
     "Executor",

@@ -51,6 +51,7 @@ from concurrent.futures import Future
 from repro.api.executor import Executor
 from repro.api.planner import Planner
 from repro.api.sql import split_explain
+from repro.exceptions import QueryError
 
 
 class _Submission:
@@ -73,13 +74,14 @@ class PrismClient:
         num_threads: default server-side thread count for this session
             (``None``: the system's own default).
         num_shards: default χ-shard count for this session (``None``:
-            the system's own default).
+            the system's own default; ``"auto"``: resolve per call from
+            the χ length and core count).
         coalesce_window: seconds the scheduler waits after waking so
             concurrent :meth:`submit` calls land in the same fused tick.
     """
 
     def __init__(self, system, num_threads: int | None = None,
-                 num_shards: int | None = None,
+                 num_shards: int | str | None = None,
                  coalesce_window: float = 0.002):
         self.system = system
         self.num_threads = num_threads
@@ -108,11 +110,62 @@ class PrismClient:
         self._max_coalesced = 0
 
     @classmethod
-    def connect(cls, relations, domain, psi_attribute, agg_attributes=(),
-                num_threads: int | None = None, **build_kwargs
+    def connect(cls, *args, relations=None, domain=None, psi_attribute=None,
+                agg_attributes=(),
+                num_threads: int | None = None,
+                num_shards: int | str | None = None,
+                deployment: str | None = None, **build_kwargs
                 ) -> "PrismClient":
-        """Build + outsource a deployment and open a session on it."""
+        """Build + outsource a deployment and open a session on it.
+
+        Two call shapes::
+
+            PrismClient.connect(relations, domain, psi_attribute, ...)
+            PrismClient.connect("tcp://h:p,h:p,h:p",
+                                relations, domain, psi_attribute, ...)
+
+        A leading deployment spec (``"local"``, ``"subprocess"``, or
+        ``"tcp://host:port,host:port,host:port"``) declares where the
+        server entities run; the identical SQL / builder / batch query
+        surface then executes against them — in-process (the default,
+        and what historical direct ``PrismSystem`` construction maps
+        to), in forked workers, or in standalone ``repro-entity-host``
+        processes over real sockets.  ``deployment=`` works as a
+        keyword too.
+        """
         from repro.core.system import PrismSystem
+        if args and isinstance(args[0], str) and (
+                args[0] in ("local", "subprocess")
+                or args[0].startswith("tcp://")):
+            if deployment is not None:
+                raise QueryError(
+                    "deployment given both positionally and as a keyword")
+            deployment, args = args[0], args[1:]
+        # The three core arguments work positionally or as keywords
+        # (the historical signature named them), and agg_attributes
+        # keeps its historical 4th positional slot.
+        if len(args) == 4 and agg_attributes == ():
+            args, agg_attributes = args[:3], args[3]
+        named = (relations, domain, psi_attribute)
+        positional = len(args) + sum(1 for v in named if v is not None)
+        if positional != 3 or len(args) > 3:
+            raise QueryError(
+                "connect needs (relations, domain, psi_attribute), "
+                "optionally preceded by a deployment spec"
+            )
+        filled = list(args) + [None] * (3 - len(args))
+        for slot, value in enumerate(named):
+            if value is not None:
+                if slot < len(args):
+                    raise QueryError(
+                        f"{('relations', 'domain', 'psi_attribute')[slot]} "
+                        f"given both positionally and as a keyword")
+                filled[slot] = value
+        relations, domain, psi_attribute = filled
+        if deployment is not None:
+            build_kwargs["deployment"] = deployment
+        if num_shards is not None:
+            build_kwargs.setdefault("num_shards", num_shards)
         system = PrismSystem.build(relations, domain, psi_attribute,
                                    agg_attributes=agg_attributes,
                                    **build_kwargs)
@@ -318,7 +371,7 @@ class PrismClient:
     def _threads(self, num_threads: int | None) -> int | None:
         return num_threads if num_threads is not None else self.num_threads
 
-    def _shards(self, num_shards: int | None) -> int | None:
+    def _shards(self, num_shards: int | str | None) -> int | str | None:
         return num_shards if num_shards is not None else self.num_shards
 
     def _accounted(self, plans):

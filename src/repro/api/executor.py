@@ -96,22 +96,26 @@ class Executor:
     # -- public surface -------------------------------------------------------
 
     def execute(self, query, num_threads: int | None = None,
-                num_shards: int | None = None, **runner_options):
+                num_shards: int | str | None = None, **runner_options):
         """Lower and run one query; returns its canonical-shape result.
 
         ``num_shards`` overrides the deployment's χ-shard count for this
         call (batchable units only; interactive runners are
-        announcer-round-bound, not sweep-bound).  ``runner_options`` are
-        forwarded to interactive runners only (e.g. ``common_values=``
-        for extrema, ``announcer_driven=`` for bucketized PSI); a fully-
-        batchable plan rejects them.
+        announcer-round-bound, not sweep-bound); ``"auto"`` resolves it
+        from the χ length and core count.  The executor is
+        deployment-agnostic: when the system's servers are
+        :class:`~repro.entities.remote.RemoteServer` proxies, the same
+        dispatch runs over subprocess or TCP channels unchanged.
+        ``runner_options`` are forwarded to interactive runners only
+        (e.g. ``common_values=`` for extrema, ``announcer_driven=`` for
+        bucketized PSI); a fully-batchable plan rejects them.
         """
         plan = self.planner.lower(query)
         return self._run([plan], num_threads, runner_options,
                          num_shards=num_shards)[0]
 
     def execute_many(self, queries, num_threads: int | None = None,
-                     num_shards: int | None = None) -> list:
+                     num_shards: int | str | None = None) -> list:
         """Run many queries; batchable units fuse into one QueryBatch."""
         plans = self.planner.lower_many(queries)
         return self._run(plans, num_threads, {}, num_shards=num_shards)

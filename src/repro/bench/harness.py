@@ -52,8 +52,14 @@ def build_system(num_owners: int = DEFAULT_OWNERS,
                  agg_attributes: tuple = ("DT", "PK", "LN", "SK"),
                  with_verification: bool = False,
                  num_threads: int = 1, seed: int = 7,
-                 rows_per_owner: int | None = None) -> PrismSystem:
-    """A ready-to-query deployment over synthetic LineItem fragments."""
+                 rows_per_owner: int | None = None,
+                 **system_kwargs) -> PrismSystem:
+    """A ready-to-query deployment over synthetic LineItem fragments.
+
+    Extra keyword arguments reach :meth:`PrismSystem.build` directly —
+    e.g. ``deployment="subprocess"`` or ``num_shards="auto"`` for the
+    deployment/sharding benches.
+    """
     domain_size = domain_size if domain_size is not None else small_domain_size()
     rows = rows_per_owner if rows_per_owner is not None else max(
         64, int(domain_size * ROWS_FRACTION))
@@ -65,6 +71,7 @@ def build_system(num_owners: int = DEFAULT_OWNERS,
         seed=seed,
         # LineItem values are small; per-group sums stay far below this.
         value_bound=100_000,
+        **system_kwargs,
     )
 
 

@@ -246,7 +246,10 @@ class QueryBatch:
         num_threads: server-side thread count (default: system setting).
         num_shards: χ-table shard count for this batch (default: system
             setting, i.e. the servers' own shard plans; ``1`` forces the
-            unsharded thread sweep for this batch only).
+            unsharded thread sweep for this batch only; ``"auto"``
+            resolves from the χ length and core count).  Under a
+            non-local deployment the count travels over the channel and
+            the entity hosts shard the sweep themselves.
 
     After :meth:`execute`, :attr:`stats` reports how much work fusion
     saved: sweep counts per family, deduplicated rows, and the
@@ -254,7 +257,7 @@ class QueryBatch:
     """
 
     def __init__(self, system, queries, num_threads: int | None = None,
-                 num_shards: int | None = None):
+                 num_shards: int | str | None = None):
         self.system = system
         self.queries = [BatchQuery.coerce(q) for q in queries]
         self.num_threads = (num_threads if num_threads is not None

@@ -124,22 +124,31 @@ def _worker_init(servers: dict, scratch: _Scratch) -> None:
     _WORKER = {"servers": servers, "scratch": scratch}
 
 
-def _run_span(family: str, spec: dict, lo: int, hi: int) -> None:
-    """Compute one shard span of one fused sweep, in a worker process.
+def compute_sweep_span(server, family: str, spec: dict, lo: int, hi: int,
+                       z_span: np.ndarray | None = None) -> np.ndarray:
+    """One contiguous χ span ``[lo, hi)`` of one fused sweep.
 
     Mirrors the corresponding in-process kernel *exactly* (operation
     order, reduction points, dtypes) so shard outputs concatenate
-    bit-identically to the unsharded sweep.  Reads share vectors from
-    the forked copy of the server's store; writes its rows of the output
-    into the shared scratch.
+    bit-identically to the unsharded sweep for every span decomposition.
+    Reads share vectors straight from the server's store.  Two callers:
+    the forked shard workers (:func:`_run_span`, which writes the result
+    into the shared scratch) and the entity host
+    (:mod:`repro.network.host`), which serves span-scoped RPC requests
+    with it — the hook for sharding one sweep across deployment channels.
+
+    Args:
+        server: the (unmodified) server whose store backs the sweep.
+        family: ``"psi"`` (Eq. 3 / Eq. 7), ``"psu"`` (Eq. 18), or
+            ``"agg"`` (Eq. 11).
+        spec: the sweep description (columns, per-column owner lists,
+            and per-family extras — ``m_rows``, ``row_map``/``nonces``).
+        z_span: for ``"agg"``, this span of the indicator-share matrix.
+
+    Returns:
+        The ``(rows, hi - lo)`` output block of the sweep.
     """
-    state = _WORKER
-    if state is None:  # pragma: no cover - initializer always runs first
-        raise ProtocolError("shard worker used before initialisation")
-    server = state["servers"][spec["server"]]
     store = server.store
-    out = state["scratch"].out_buf
-    in_buf = state["scratch"].in_buf
     columns = spec["columns"]
     owners = spec["owners"]
 
@@ -154,8 +163,7 @@ def _run_span(family: str, spec: dict, lo: int, hi: int) -> None:
                 row += store.shard_slice(owner, column, lo, hi)
         acc -= np.asarray(spec["m_rows"], dtype=np.int64)[:, None]
         np.mod(acc, delta, out=acc)
-        out[:len(columns), lo:hi] = table[acc]
-        return
+        return table[acc]
 
     if family == "psu":
         # Eq. 18 span: per-unique-column sums, broadcast by row_map,
@@ -172,29 +180,41 @@ def _run_span(family: str, spec: dict, lo: int, hi: int) -> None:
                 row += store.shard_slice(owner, column, lo, hi)
         np.mod(acc, delta, out=acc)
         row_map = np.asarray(spec["row_map"], dtype=np.int64)
-        num_rows = spec["rows"]
         rand = np.stack([
             SeededPRG(server.params.prg_seed,
                       f"psu-{nonce}").integers_at(lo, hi - lo, 1, delta)
             for nonce in spec["nonces"]
         ])
-        out[:num_rows, lo:hi] = np.mod(acc[row_map] * rand, delta)
-        return
+        return np.mod(acc[row_map] * rand, delta)
 
     if family == "agg":
         # Eq. 11 span: Σ_j S(x_i2)_j × S(z_i) with per-term reduction.
+        if z_span is None:
+            raise ProtocolError("aggregation span needs its z matrix span")
         p = server.params.field_prime
         acc = np.zeros((len(columns), hi - lo), dtype=np.int64)
         for q, (column, col_owners) in enumerate(zip(columns, owners)):
-            z = in_buf[q, lo:hi]
+            z = z_span[q]
             row = acc[q]
             for owner in col_owners:
                 row += np.mod(store.shard_slice(owner, column, lo, hi) * z, p)
                 np.mod(row, p, out=row)
-        out[:len(columns), lo:hi] = acc
-        return
+        return acc
 
     raise ProtocolError(f"unknown shard kernel family {family!r}")
+
+
+def _run_span(family: str, spec: dict, lo: int, hi: int) -> None:
+    """Compute one shard span in a worker process, into the scratch."""
+    state = _WORKER
+    if state is None:  # pragma: no cover - initializer always runs first
+        raise ProtocolError("shard worker used before initialisation")
+    server = state["servers"][spec["server"]]
+    scratch = state["scratch"]
+    z_span = (scratch.in_buf[:len(spec["columns"]), lo:hi]
+              if family == "agg" else None)
+    out = compute_sweep_span(server, family, spec, lo, hi, z_span=z_span)
+    scratch.out_buf[:out.shape[0], lo:hi] = out
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
@@ -411,6 +431,41 @@ class ShardRuntime:
         }
         return self._dispatch("agg", spec, len(columns), n, num_shards,
                               in_matrix=z_matrix)
+
+
+#: Minimum χ rows per shard before splitting pays for itself.  Below
+#: this, ``benchmarks/bench_sharding.py`` measures the per-shard
+#: dispatch overhead (task submission, result collection) eating the
+#: parallel win for every kernel family, so ``num_shards="auto"`` keeps
+#: such sweeps unsharded.
+AUTO_ROWS_PER_SHARD = 16_384
+
+#: χ length above which the forked worker pool beats the thread
+#: fallback.  ``bench_sharding.py``'s crossover: the heavy kernels (the
+#: PSU mask streams, Eq. 11's per-term reductions) amortise worker
+#: dispatch from roughly this size, while the light Eq. 3 sweep favours
+#: threads (free dispatch) below it.
+AUTO_WORKER_MIN_ROWS = 65_536
+
+
+def auto_shard_plan(rows: int, cpu_count: int | None = None
+                    ) -> tuple[int, bool]:
+    """Pick ``(num_shards, use_worker_pool)`` for a χ length.
+
+    The ``num_shards="auto"`` heuristic: shard so every shard keeps at
+    least :data:`AUTO_ROWS_PER_SHARD` rows, capped at the core count;
+    run shards on the forked worker pool only past
+    :data:`AUTO_WORKER_MIN_ROWS` (and only where fork exists), else on
+    the zero-dispatch thread fallback.  Both thresholds come from the
+    threads-vs-workers crossover measured by
+    ``benchmarks/bench_sharding.py``.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    shards = min(max(1, cpus), max(1, rows // AUTO_ROWS_PER_SHARD))
+    if shards <= 1:
+        return 1, False
+    use_workers = processes_available() and rows >= AUTO_WORKER_MIN_ROWS
+    return shards, use_workers
 
 
 def attach_sharding(servers, num_shards: int,

@@ -45,7 +45,13 @@ from repro.core.results import (
     MedianResult,
     SetResult,
 )
-from repro.core.sharding import ShardPlan, ShardRuntime, attach_sharding
+from repro.core.sharding import (
+    ShardPlan,
+    ShardRuntime,
+    attach_sharding,
+    auto_shard_plan,
+    processes_available,
+)
 from repro.crypto.shamir import DEFAULT_FIELD_PRIME
 from repro.data.domain import Domain, ProductDomain
 from repro.data.relation import Relation
@@ -59,6 +65,47 @@ from repro.network.transport import LocalTransport
 #: Number of servers a full deployment instantiates (2 additive + 1 extra
 #: Shamir point for degree-2 reconstruction, §3.2).
 NUM_SERVERS = 3
+
+
+def _server_spec(factory) -> tuple[str | None, dict]:
+    """(dotted path, constructor kwargs) for a remote host bootstrap.
+
+    TCP hosts construct the entity themselves, so the factory must be a
+    class, a dotted path string, or a ``(class_or_path, kwargs)`` tuple
+    — the fault-injection classes of :mod:`repro.entities.adversary`
+    qualify (e.g. ``{2: (DropAggregateServer, {"cells": (2,)})}``);
+    closures cannot travel.
+    """
+    kwargs: dict = {}
+    if isinstance(factory, tuple):
+        factory, kwargs = factory
+        kwargs = dict(kwargs)
+    if factory is PrismServer:
+        return None, kwargs
+    if isinstance(factory, str):
+        return factory, kwargs
+    if isinstance(factory, type) and issubclass(factory, PrismServer):
+        return f"{factory.__module__}.{factory.__qualname__}", kwargs
+    raise ParameterError(
+        "tcp deployments need server *classes* (or dotted path strings) in "
+        "server_factories — the remote host constructs the entity and "
+        "cannot execute a local callable"
+    )
+
+
+def _callable_factory(factory):
+    """Normalise a server_factories entry to ``factory(index, params)``."""
+    from repro.network.host import _resolve_server_class
+    kwargs: dict = {}
+    if isinstance(factory, tuple):
+        factory, kwargs = factory
+        kwargs = dict(kwargs)
+    if isinstance(factory, str):
+        factory = _resolve_server_class(factory)
+    if kwargs:
+        return lambda index, params, _cls=factory, _kw=kwargs: \
+            _cls(index, params, **_kw)
+    return factory
 
 
 class PrismSystem:
@@ -76,9 +123,23 @@ class PrismSystem:
             share vector into that many contiguous shards and runs the
             batched kernels shard-parallel on a persistent forked worker
             pool shared by all three servers (threads when worker
-            processes are unavailable).  Results are bit-identical to the
-            unsharded path.  Call :meth:`close` (or use the system as a
-            context manager) to release the pool.
+            processes are unavailable).  ``"auto"`` picks the shard
+            count and the threads-vs-workers mode from the core count
+            and the χ length, using the crossover measured by
+            ``benchmarks/bench_sharding.py``
+            (:func:`repro.core.sharding.auto_shard_plan`).  Results are
+            bit-identical to the unsharded path.  Call :meth:`close` (or
+            use the system as a context manager) to release the pool.
+        deployment: where the server entities live — ``"local"`` (this
+            process, zero-copy; the default and the historical
+            behaviour), ``"subprocess"`` (each server hosted in a forked
+            worker, frames over a pipe), or
+            ``"tcp://host:port,host:port,host:port"`` (standalone
+            ``repro-entity-host`` processes, length-prefixed codec
+            frames over TCP).  Owners, initiator, and announcer stay in
+            this process; non-local deployments expose each server
+            through a :class:`~repro.entities.remote.RemoteServer`
+            proxy, and results are bit-identical across all three modes.
         delta: override the additive-group prime.
         alpha: the ``eta' = alpha * eta`` multiplier.
         field_prime: Shamir field prime.
@@ -95,17 +156,22 @@ class PrismSystem:
     """
 
     def __init__(self, relations: list[Relation], domain: Domain | ProductDomain,
-                 seed: int = 0, num_threads: int = 1, num_shards: int = 1,
+                 seed: int = 0, num_threads: int = 1,
+                 num_shards: int | str = 1,
                  delta: int | None = None, alpha: int = 13,
                  field_prime: int = DEFAULT_FIELD_PRIME,
                  value_bound: int = 10_000,
                  server_factories: dict | None = None,
                  announcer_knows_eta: bool = False,
-                 serialize_transport: bool = False):
+                 serialize_transport: bool = False,
+                 deployment: str = "local"):
+        from repro.network.rpc import Deployment
         if len(relations) < 2:
             raise ParameterError("Prism needs at least two owners")
         self.domain = domain
         self.num_threads = num_threads
+        self.deployment = Deployment.parse(deployment,
+                                           num_servers=NUM_SERVERS)
         self.initiator = Initiator(len(relations), domain, seed=seed,
                                    delta=delta, alpha=alpha,
                                    field_prime=field_prime,
@@ -117,10 +183,15 @@ class PrismSystem:
             for i, rel in enumerate(relations)
         ]
         factories = server_factories or {}
-        self.servers = [
-            factories.get(i, PrismServer)(i, self.initiator.server_params(i))
-            for i in range(NUM_SERVERS)
-        ]
+        self._channels: list = []
+        if self.deployment.is_local:
+            self.servers = [
+                _callable_factory(factories.get(i, PrismServer))(
+                    i, self.initiator.server_params(i))
+                for i in range(NUM_SERVERS)
+            ]
+        else:
+            self.servers = self._connect_servers(factories)
         self.announcer = Announcer(
             self.initiator.announcer_params(include_eta=announcer_knows_eta),
             seed=seed,
@@ -129,11 +200,76 @@ class PrismSystem:
         self._nonce = 0
         self._nonce_lock = threading.Lock()
         self._bucket_trees: dict[str, BucketTree] = {}
-        self.num_shards = max(1, int(num_shards))
+        use_workers = True
+        if num_shards == "auto":
+            self.num_shards, use_workers = auto_shard_plan(domain.size)
+        else:
+            self.num_shards = max(1, int(num_shards))
         self._shard_runtime = None
         if self.num_shards > 1:
-            default_plan = attach_sharding(self.servers, self.num_shards)
-            self._shard_runtime = default_plan.runtime
+            if not self.deployment.is_local:
+                # Remote stores are out of reach of a local worker pool:
+                # ship the shard *count* as each proxy's default plan and
+                # let the hosts execute it (bit-identical either way).
+                plan = ShardPlan(self.num_shards)
+                for server in self.servers:
+                    server.shard_plan = plan
+            elif use_workers and processes_available():
+                default_plan = attach_sharding(self.servers, self.num_shards)
+                self._shard_runtime = default_plan.runtime
+            else:
+                # The auto heuristic chose the zero-dispatch thread mode
+                # (small sweeps): a runtime-less plan per server.
+                plan = ShardPlan(self.num_shards)
+                for server in self.servers:
+                    server.shard_plan = plan
+                    server.store.configure_sharding(self.num_shards)
+
+    def _connect_servers(self, factories: dict) -> list:
+        """Build the server proxies of a non-local deployment."""
+        from repro.entities.remote import RemoteServer
+        from repro.network.rpc import (
+            CONSTRUCT,
+            RpcMessage,
+            SocketChannel,
+            SubprocessChannel,
+            server_params_to_wire,
+        )
+        servers = []
+        try:
+            for i in range(NUM_SERVERS):
+                params = self.initiator.server_params(i)
+                factory = factories.get(i, PrismServer)
+                if self.deployment.mode == "subprocess":
+                    # The factory runs in the child post-fork, so
+                    # arbitrary callables (malicious-server lambdas
+                    # included) work.
+                    make = _callable_factory(factory)
+                    channel = SubprocessChannel.spawn(
+                        lambda i=i, params=params, make=make: make(i, params))
+                    self._channels.append(channel)
+                else:
+                    server_class, ctor_kwargs = _server_spec(factory)
+                    host, port = self.deployment.addresses[i]
+                    channel = SocketChannel.connect(host, port)
+                    self._channels.append(channel)
+                    channel.send(RpcMessage(CONSTRUCT, {
+                        "entity": "server",
+                        "index": i,
+                        "params": server_params_to_wire(params),
+                        "server_class": server_class,
+                        "kwargs": ctor_kwargs,
+                    }))
+                servers.append(RemoteServer(i, params, channel))
+        except BaseException:
+            # A later server failing to come up must not leak the
+            # channels (and forked children) already opened: the
+            # half-built system is unreachable and close() never runs.
+            for channel in self._channels:
+                channel.close()
+            self._channels.clear()
+            raise
+        return servers
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -173,7 +309,7 @@ class PrismSystem:
     def outsource_bucketized(self, psi_attribute, fanout: int = 10) -> BucketTree:
         """Phase 1 for bucketized PSI: per-level χ columns (§6.6)."""
         # The leaf level is the ordinary PSI column; ensure it exists.
-        if not self.servers[0].store.owners_with(
+        if not self.servers[0].owners_with(
                 psi_attribute if isinstance(psi_attribute, str)
                 else "*".join(psi_attribute)):
             self.outsource(psi_attribute)
@@ -205,19 +341,32 @@ class PrismSystem:
 
     # -- sharded execution ----------------------------------------------------
 
-    def shard_plan_for(self, num_shards: int | None) -> ShardPlan | None:
+    def shard_plan_for(self, num_shards: int | str | None
+                       ) -> ShardPlan | None:
         """A per-call :class:`ShardPlan` override for the batched kernels.
 
         ``None`` keeps the servers' deployment default; ``<= 1`` returns
         an explicit thread-only plan (disables sharding for the call);
         ``> 1`` binds the requested shard count to the deployment's
-        shared worker-pool runtime (created on first use).
+        shared worker-pool runtime (created on first use).  ``"auto"``
+        resolves shard count and mode from the χ length and core count
+        (:func:`repro.core.sharding.auto_shard_plan`).  Non-local
+        deployments always get a runtime-less plan — the shard count
+        travels over the channel and the entity hosts execute it.
         """
         if num_shards is None:
             return None
+        if num_shards == "auto":
+            num_shards, use_workers = auto_shard_plan(self.domain.size)
+            if num_shards <= 1:
+                return ShardPlan(1, None)
+            if not use_workers:
+                return ShardPlan(num_shards, None)
         num_shards = int(num_shards)
         if num_shards <= 1:
             return ShardPlan(1, None)
+        if not self.deployment.is_local:
+            return ShardPlan(num_shards, None)
         if self._shard_runtime is None:
             self._shard_runtime = ShardRuntime(self.servers)
             # Fork once, now, on the requesting thread — not later on a
@@ -226,17 +375,44 @@ class PrismSystem:
         return ShardPlan(num_shards, self._shard_runtime)
 
     def close(self) -> None:
-        """Release execution resources: worker pool and server thread pools.
+        """Release execution resources: pools, and — remotely — channels.
 
-        Idempotent; the system stays usable afterwards (pools are
-        re-created lazily), so this is a quiesce as much as a teardown.
+        Idempotent.  Local deployments stay usable afterwards (pools
+        are re-created lazily), so this is a quiesce as much as a
+        teardown.  Non-local deployments additionally close their
+        channels (subprocess children exit; TCP hosts keep running for
+        the next client), after which the system can no longer query.
         """
         if self._shard_runtime is not None:
             self._shard_runtime.close()
         for server in self.servers:
             close = getattr(server, "close", None)
             if close is not None:
-                close()
+                try:
+                    close()
+                except Exception:
+                    if self.deployment.is_local:
+                        raise
+                    # A dead channel must not block teardown of the rest.
+        for channel in self._channels:
+            channel.close()
+
+    def channel_stats(self) -> dict:
+        """Wire accounting of a non-local deployment's channels.
+
+        ``bytes_sent``/``bytes_received`` count actual framed bytes on
+        the wire (empty totals under ``deployment="local"``, which moves
+        no bytes); the transport's :class:`TrafficStats` remain the
+        protocol-level model either way.
+        """
+        per_channel = [channel.stats for channel in self._channels]
+        return {
+            "mode": self.deployment.mode,
+            "channels": per_channel,
+            "requests": sum(s["requests"] for s in per_channel),
+            "bytes_sent": sum(s["bytes_sent"] for s in per_channel),
+            "bytes_received": sum(s["bytes_received"] for s in per_channel),
+        }
 
     def __enter__(self) -> "PrismSystem":
         return self
@@ -249,7 +425,7 @@ class PrismSystem:
         return [owner.relation for owner in self.owners]
 
     def client(self, num_threads: int | None = None,
-               num_shards: int | None = None):
+               num_shards: int | str | None = None):
         """Open a session-style :class:`repro.api.PrismClient` on this
         deployment (per-session query/traffic stats, ``EXPLAIN``, fluent
         builders, concurrent ``submit`` with batch coalescing)."""

@@ -10,6 +10,7 @@ from repro.entities.adversary import (
 from repro.entities.announcer import Announcer
 from repro.entities.initiator import Initiator
 from repro.entities.owner import DBOwner
+from repro.entities.remote import RemoteServer
 from repro.entities.server import PrismServer
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "Initiator",
     "InjectFakeServer",
     "PrismServer",
+    "RemoteServer",
     "ReplaySwapServer",
     "SkipCellsServer",
 ]

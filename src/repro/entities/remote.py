@@ -1,0 +1,243 @@
+"""Client-side proxy for a server entity living behind a channel.
+
+:class:`RemoteServer` mirrors the callable surface of
+:class:`~repro.entities.server.PrismServer` — the storage interface,
+the 1-D and fused 2-D kernels, the extrema machinery — and forwards
+every call through a :class:`~repro.network.rpc.Channel` as a framed
+RPC.  The orchestration layer (:mod:`repro.core`) therefore runs
+unchanged whether ``system.servers[i]`` is an in-process server object
+or a proxy to an entity three sockets away; results are bit-identical
+because the hosted entity executes the very same kernels over the very
+same shares.
+
+Two deliberate translations happen at this boundary:
+
+* **Fetches are lazy.**  The sequential runners fetch share lists
+  client-side only to hand them straight back to the same server's
+  kernel; shipping the full χ table both ways would be absurd.
+  :meth:`RemoteServer.fetch_additive` returns a :class:`LazyShares`
+  handle instead — if the caller only passes it back to a kernel, the
+  proxy sends ``shares=None`` and the host re-fetches locally (free:
+  the store memoises fetches); if the caller actually *reads* the
+  shares (the bucketized runner slices active nodes), the handle
+  materialises them over the wire on first access.
+* **Shard plans become shard counts.**  A
+  :class:`~repro.core.sharding.ShardPlan` names a local forked worker
+  pool, which cannot reach a remote store; the proxy ships the shard
+  *count* and the host executes with its own local plan —
+  bit-identical by the sharding layer's span contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import ServerParams
+from repro.network.message import Endpoint, Role
+
+
+class LazyShares:
+    """A deferred server-side share fetch (see module docstring)."""
+
+    def __init__(self, channel, method: str, column: str, owner_ids):
+        self._channel = channel
+        self._method = method
+        self._column = column
+        self._owner_ids = owner_ids
+        self._data: list | None = None
+
+    @property
+    def materialized(self) -> bool:
+        return self._data is not None
+
+    def materialize(self) -> list:
+        """Fetch the share vectors over the wire (memoised)."""
+        if self._data is None:
+            self._data = list(self._channel.call(
+                self._method, self._column, self._owner_ids))
+        return self._data
+
+    def __iter__(self):
+        return iter(self.materialize())
+
+    def __len__(self) -> int:
+        return len(self.materialize())
+
+    def __getitem__(self, index):
+        return self.materialize()[index]
+
+
+def _wire_shares(shares):
+    """What a kernel call ships for its ``shares`` argument."""
+    if shares is None:
+        return None
+    if isinstance(shares, LazyShares):
+        # Never materialised client-side: let the host fetch locally.
+        return shares._data
+    return list(shares)
+
+
+class RemoteServer:
+    """Proxy speaking the PrismServer RPC surface over one channel.
+
+    Args:
+        index: server id (mirrors the remote entity's).
+        params: the server's §4 knowledge view.  Kept client-side too:
+            the orchestrator performs a few server-side steps itself in
+            the sequential runners (e.g. the ``PF_s1`` permutation of
+            PSU-Count), and the initiator dealt these parameters in the
+            first place.
+        channel: the :class:`~repro.network.rpc.Channel` to the host.
+    """
+
+    #: Marks the proxy for layers that must not touch a local store.
+    is_remote = True
+
+    def __init__(self, index: int, params: ServerParams, channel):
+        self.index = index
+        self.params = params
+        self.channel = channel
+        self.endpoint = Endpoint(Role.SERVER, index)
+        #: Deployment-default shard plan (shard *count* only; the
+        #: runtime, if any, lives host-side).
+        self.shard_plan = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteServer(index={self.index}, channel={self.channel!r})"
+
+    # -- storage surface ------------------------------------------------------
+
+    def receive_shares(self, owner_id: int, column: str, values, kind) -> None:
+        """Phase 1: forward one outsourced share vector to the host."""
+        self.channel.call("receive_shares", int(owner_id), column,
+                          np.asarray(values, dtype=np.int64), kind.value)
+
+    def owners_with(self, column: str) -> list[int]:
+        """Owner ids that outsourced ``column`` on the hosted store."""
+        return list(self.channel.call("owners_with", column))
+
+    def fetch_additive(self, column: str, owner_ids=None) -> LazyShares:
+        return LazyShares(self.channel, "fetch_additive", column,
+                          list(owner_ids) if owner_ids is not None else None)
+
+    def fetch_shamir(self, column: str, owner_ids=None) -> LazyShares:
+        return LazyShares(self.channel, "fetch_shamir", column,
+                          list(owner_ids) if owner_ids is not None else None)
+
+    # -- 1-D kernels ----------------------------------------------------------
+
+    def psi_round(self, column, num_threads: int = 1, owner_ids=None,
+                  shares=None):
+        return self.channel.call("psi_round", column, num_threads,
+                                 self._owners(owner_ids),
+                                 shares=_wire_shares(shares))
+
+    def verification_round(self, column, num_threads: int = 1, owner_ids=None,
+                           shares=None):
+        return self.channel.call("verification_round", column, num_threads,
+                                 self._owners(owner_ids),
+                                 shares=_wire_shares(shares))
+
+    def psu_round(self, column, query_nonce: int, num_threads: int = 1,
+                  owner_ids=None, shares=None):
+        return self.channel.call("psu_round", column, int(query_nonce),
+                                 num_threads, self._owners(owner_ids),
+                                 shares=_wire_shares(shares))
+
+    def count_round(self, column, num_threads: int = 1, owner_ids=None,
+                    shares=None, use_pf_s2: bool = False):
+        return self.channel.call("count_round", column, num_threads,
+                                 self._owners(owner_ids),
+                                 shares=_wire_shares(shares),
+                                 use_pf_s2=bool(use_pf_s2))
+
+    def count_verification_round(self, column, num_threads: int = 1,
+                                 owner_ids=None, shares=None):
+        return self.channel.call("count_verification_round", column,
+                                 num_threads, self._owners(owner_ids),
+                                 shares=_wire_shares(shares))
+
+    def aggregate_round(self, column, z_share, num_threads: int = 1,
+                        owner_ids=None, shares=None):
+        return self.channel.call("aggregate_round", column,
+                                 np.asarray(z_share, dtype=np.int64),
+                                 num_threads, self._owners(owner_ids),
+                                 shares=_wire_shares(shares))
+
+    # -- fused 2-D kernels ----------------------------------------------------
+
+    def psi_round_batch(self, columns, num_threads: int = 1, owner_ids=None,
+                        subtract_m=None, shard_plan=None):
+        return self.channel.call(
+            "psi_round_batch", list(columns), num_threads,
+            self._owners(owner_ids),
+            subtract_m=self._flags(subtract_m),
+            num_shards=self._shards(shard_plan))
+
+    def count_round_batch(self, columns, num_threads: int = 1, owner_ids=None,
+                          subtract_m=None, use_pf_s2=None, shard_plan=None):
+        return self.channel.call(
+            "count_round_batch", list(columns), num_threads,
+            self._owners(owner_ids),
+            subtract_m=self._flags(subtract_m),
+            use_pf_s2=self._flags(use_pf_s2),
+            num_shards=self._shards(shard_plan))
+
+    def psu_round_batch(self, columns, query_nonces, num_threads: int = 1,
+                        owner_ids=None, permute=None, shard_plan=None):
+        return self.channel.call(
+            "psu_round_batch", list(columns),
+            [int(nonce) for nonce in query_nonces], num_threads,
+            self._owners(owner_ids), permute=self._flags(permute),
+            num_shards=self._shards(shard_plan))
+
+    def aggregate_round_batch(self, columns, z_matrix, num_threads: int = 1,
+                              owner_ids=None, shard_plan=None):
+        return self.channel.call(
+            "aggregate_round_batch", list(columns),
+            np.asarray(z_matrix, dtype=np.int64), num_threads,
+            self._owners(owner_ids), num_shards=self._shards(shard_plan))
+
+    # -- extrema machinery ----------------------------------------------------
+
+    def extrema_collect(self, owner_shares: dict) -> list[int]:
+        return list(self.channel.call(
+            "extrema_collect",
+            {int(owner): int(share)
+             for owner, share in owner_shares.items()}))
+
+    def fpos_round(self, alpha_shares: dict) -> list[int]:
+        return list(self.channel.call(
+            "fpos_round",
+            {int(owner): int(share)
+             for owner, share in alpha_shares.items()}))
+
+    def forward(self, payload):
+        return self.channel.call("forward", payload)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Host liveness + identity check."""
+        from repro.network.rpc import PING, RpcMessage
+        return self.channel.send(RpcMessage(PING)).payload
+
+    def close(self) -> None:
+        """Quiesce the remote entity's execution pools (channel stays up)."""
+        self.channel.call("close")
+
+    # -- marshalling helpers --------------------------------------------------
+
+    @staticmethod
+    def _owners(owner_ids):
+        return list(owner_ids) if owner_ids is not None else None
+
+    @staticmethod
+    def _flags(flags):
+        return [bool(flag) for flag in flags] if flags is not None else None
+
+    def _shards(self, shard_plan):
+        plan = shard_plan if shard_plan is not None else self.shard_plan
+        if plan is None or plan.num_shards <= 1:
+            return None
+        return int(plan.num_shards)

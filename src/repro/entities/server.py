@@ -171,6 +171,16 @@ class PrismServer:
         """Accept an outsourced share vector from an owner (Phase 1)."""
         self.store.put(owner_id, column, values, kind)
 
+    def owners_with(self, column: str) -> list[int]:
+        """Owner ids that have outsourced ``column``.
+
+        Part of the deployment-facing surface (mirrored by
+        :class:`~repro.entities.remote.RemoteServer`), so orchestration
+        code never reaches into :attr:`store` directly — a remote
+        server's store lives in another process.
+        """
+        return self.store.owners_with(column)
+
     def fetch_additive(self, column: str,
                        owner_ids: list[int] | None = None) -> list[np.ndarray]:
         """Data-fetch step: all owners' additive shares of a column."""

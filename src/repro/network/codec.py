@@ -8,17 +8,36 @@ binary encoding for every payload type the protocols send:
 * int64 share matrices (the fused multi-query batch streams, 2-D),
 * arbitrary-precision integers (extrema shares),
 * lists of big ints (announcer arrays, fpos vectors),
-* share-pair tuples and string-keyed dicts of any of the above.
+* share-pair tuples and string-keyed dicts of any of the above,
+* booleans, floats, raw byte strings, and maps with scalar keys (the
+  RPC argument surface: kernel flag lists such as ``subtract_m``, and
+  the owner-keyed share dicts of the extrema rounds).
 
 Layout: 1 magic byte ``0x5A``, 1 version byte, 1 type tag, then the
 type-specific body.  All integers are little-endian.  The transport's
 ``serialize=True`` mode round-trips every transfer through this codec,
 so the accounting becomes the true wire size and any non-serialisable
 payload is caught immediately.
+
+Framed request envelope
+-----------------------
+
+Deployment channels (:mod:`repro.network.rpc`) do not ship bare
+payloads: every request/response travels inside a *frame* — a second
+magic byte (``0x5B``), the codec version, a **correlation id** (so a
+channel multiplexing concurrent queries can pair responses to
+requests), a **shard span** ``(lo, hi)`` (``(-1, -1)`` = the full χ
+length; anything else scopes the request to one contiguous shard of
+the sweep), then the message *kind* (an entity method name or a
+reserved ``__construct__``/``__error__``-style control kind) and the
+codec-encoded payload.  :func:`encode_frame` / :func:`decode_frame`
+implement the envelope; stream-level length prefixes live in the
+channel layer, which is what actually writes sockets.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import struct
 
 import numpy as np
@@ -28,6 +47,13 @@ from repro.exceptions import ProtocolError
 MAGIC = 0x5A
 VERSION = 1
 
+#: Frame-envelope magic (distinct from the payload magic so a stray
+#: payload blob can never be mistaken for a framed request).
+FRAME_MAGIC = 0x5B
+
+#: The shard span meaning "the whole sweep" (no span scoping).
+FULL_SPAN = (-1, -1)
+
 _TAG_VECTOR = 1
 _TAG_BIGINT = 2
 _TAG_LIST = 3
@@ -36,6 +62,19 @@ _TAG_TUPLE = 5
 _TAG_NONE = 6
 _TAG_STR = 7
 _TAG_MATRIX = 8
+_TAG_BOOL = 9
+_TAG_FLOAT = 10
+_TAG_BYTES = 11
+_TAG_MAP = 12
+
+#: Containers deeper than this are a malformed (or adversarial) message,
+#: not a protocol payload; the cap keeps a fuzzed byte string from
+#: driving the decoder into a RecursionError instead of a ProtocolError.
+_MAX_DEPTH = 32
+
+#: Key types a ``_TAG_MAP`` entry may use — hashable scalars only, so a
+#: decoded map is always a legal Python dict.
+_MAP_KEY_TYPES = (bool, int, str, bytes, float, type(None))
 
 
 def encode(payload) -> bytes:
@@ -47,7 +86,11 @@ def encode(payload) -> bytes:
     return struct.pack("<BB", MAGIC, VERSION) + _encode_body(payload)
 
 
-def _encode_body(payload) -> bytes:
+def _encode_body(payload, depth: int = 0) -> bytes:
+    if depth > _MAX_DEPTH:
+        raise ProtocolError(
+            f"payload nesting exceeds the wire depth limit ({_MAX_DEPTH})"
+        )
     if payload is None:
         return struct.pack("<B", _TAG_NONE)
     if isinstance(payload, np.ndarray):
@@ -62,29 +105,50 @@ def _encode_body(payload) -> bytes:
             )
         data = np.ascontiguousarray(payload, dtype=np.int64).tobytes()
         return struct.pack("<BQ", _TAG_VECTOR, payload.shape[0]) + data
-    if isinstance(payload, bool):
-        raise ProtocolError("booleans are not a wire type; send 0/1 ints")
-    if isinstance(payload, int):
+    if isinstance(payload, (bool, np.bool_)):
+        # A dedicated tag: booleans round-trip as booleans, never as
+        # 0/1 ints (the kernel flag lists — subtract_m, use_pf_s2,
+        # permute — are semantically boolean on the RPC surface).
+        return struct.pack("<BB", _TAG_BOOL, 1 if payload else 0)
+    if isinstance(payload, (int, np.integer)):
+        payload = int(payload)
         raw = _int_to_bytes(payload)
         return struct.pack("<BBQ", _TAG_BIGINT, 1 if payload < 0 else 0,
                            len(raw)) + raw
+    if isinstance(payload, (float, np.floating)):
+        return struct.pack("<Bd", _TAG_FLOAT, float(payload))
     if isinstance(payload, str):
         raw = payload.encode("utf-8")
         return struct.pack("<BQ", _TAG_STR, len(raw)) + raw
+    if isinstance(payload, (bytes, bytearray)):
+        return struct.pack("<BQ", _TAG_BYTES, len(payload)) + bytes(payload)
     if isinstance(payload, tuple):
-        parts = [_encode_body(item) for item in payload]
+        parts = [_encode_body(item, depth + 1) for item in payload]
         return struct.pack("<BQ", _TAG_TUPLE, len(parts)) + b"".join(parts)
     if isinstance(payload, list):
-        parts = [_encode_body(item) for item in payload]
+        parts = [_encode_body(item, depth + 1) for item in payload]
         return struct.pack("<BQ", _TAG_LIST, len(parts)) + b"".join(parts)
     if isinstance(payload, dict):
+        if all(isinstance(key, str) for key in payload):
+            parts = []
+            for key, value in payload.items():
+                parts.append(_encode_body(key, depth + 1))
+                parts.append(_encode_body(value, depth + 1))
+            return struct.pack("<BQ", _TAG_DICT, len(payload)) + b"".join(parts)
+        # Non-string keys (the extrema rounds key share dicts by owner
+        # id): a generic map whose keys are restricted to hashable
+        # scalars so decoding always yields a legal dict.
         parts = []
         for key, value in payload.items():
-            if not isinstance(key, str):
-                raise ProtocolError("wire dicts use string keys")
-            parts.append(_encode_body(key))
-            parts.append(_encode_body(value))
-        return struct.pack("<BQ", _TAG_DICT, len(payload)) + b"".join(parts)
+            if not isinstance(key, _MAP_KEY_TYPES) and not isinstance(
+                    key, (int, np.integer)):
+                raise ProtocolError(
+                    f"wire maps need scalar keys, not "
+                    f"{type(key).__name__}"
+                )
+            parts.append(_encode_body(key, depth + 1))
+            parts.append(_encode_body(value, depth + 1))
+        return struct.pack("<BQ", _TAG_MAP, len(payload)) + b"".join(parts)
     raise ProtocolError(
         f"cannot serialise payload of type {type(payload).__name__}"
     )
@@ -116,7 +180,11 @@ def decode(blob: bytes):
     return payload
 
 
-def _decode_body(blob: bytes, offset: int):
+def _decode_body(blob: bytes, offset: int, depth: int = 0):
+    if depth > _MAX_DEPTH:
+        raise ProtocolError(
+            f"payload nesting exceeds the wire depth limit ({_MAX_DEPTH})"
+        )
     try:
         (tag,) = struct.unpack_from("<B", blob, offset)
     except struct.error:
@@ -124,8 +192,25 @@ def _decode_body(blob: bytes, offset: int):
     offset += 1
     if tag == _TAG_NONE:
         return None, offset
+    if tag == _TAG_BOOL:
+        try:
+            (flag,) = struct.unpack_from("<B", blob, offset)
+        except struct.error:
+            raise ProtocolError("truncated boolean") from None
+        if flag not in (0, 1):
+            raise ProtocolError(f"boolean byte must be 0/1, got {flag}")
+        return bool(flag), offset + 1
+    if tag == _TAG_FLOAT:
+        try:
+            (value,) = struct.unpack_from("<d", blob, offset)
+        except struct.error:
+            raise ProtocolError("truncated float") from None
+        return value, offset + 8
     if tag == _TAG_VECTOR:
-        (length,) = struct.unpack_from("<Q", blob, offset)
+        try:
+            (length,) = struct.unpack_from("<Q", blob, offset)
+        except struct.error:
+            raise ProtocolError("truncated share-vector header") from None
         offset += 8
         end = offset + 8 * length
         if end > len(blob):
@@ -144,35 +229,135 @@ def _decode_body(blob: bytes, offset: int):
         matrix = np.frombuffer(blob[offset:end], dtype="<i8").astype(np.int64)
         return matrix.reshape(rows, cols), end
     if tag == _TAG_BIGINT:
-        negative, length = struct.unpack_from("<BQ", blob, offset)
+        try:
+            negative, length = struct.unpack_from("<BQ", blob, offset)
+        except struct.error:
+            raise ProtocolError("truncated integer header") from None
         offset += 9
         end = offset + length
         if end > len(blob):
             raise ProtocolError("truncated integer")
         value = int.from_bytes(blob[offset:end], "little")
         return -value if negative else value, end
-    if tag == _TAG_STR:
-        (length,) = struct.unpack_from("<Q", blob, offset)
+    if tag in (_TAG_STR, _TAG_BYTES):
+        try:
+            (length,) = struct.unpack_from("<Q", blob, offset)
+        except struct.error:
+            raise ProtocolError("truncated string header") from None
         offset += 8
         end = offset + length
         if end > len(blob):
             raise ProtocolError("truncated string")
-        return blob[offset:end].decode("utf-8"), end
+        if tag == _TAG_BYTES:
+            return blob[offset:end], end
+        try:
+            return blob[offset:end].decode("utf-8"), end
+        except UnicodeDecodeError:
+            raise ProtocolError("string is not valid UTF-8") from None
     if tag in (_TAG_LIST, _TAG_TUPLE):
-        (count,) = struct.unpack_from("<Q", blob, offset)
+        try:
+            (count,) = struct.unpack_from("<Q", blob, offset)
+        except struct.error:
+            raise ProtocolError("truncated container header") from None
         offset += 8
         items = []
         for _ in range(count):
-            item, offset = _decode_body(blob, offset)
+            item, offset = _decode_body(blob, offset, depth + 1)
             items.append(item)
         return (tuple(items) if tag == _TAG_TUPLE else items), offset
-    if tag == _TAG_DICT:
-        (count,) = struct.unpack_from("<Q", blob, offset)
+    if tag in (_TAG_DICT, _TAG_MAP):
+        try:
+            (count,) = struct.unpack_from("<Q", blob, offset)
+        except struct.error:
+            raise ProtocolError("truncated container header") from None
         offset += 8
         out = {}
         for _ in range(count):
-            key, offset = _decode_body(blob, offset)
-            value, offset = _decode_body(blob, offset)
+            key, offset = _decode_body(blob, offset, depth + 1)
+            if tag == _TAG_DICT and not isinstance(key, str):
+                raise ProtocolError("wire dicts use string keys")
+            if tag == _TAG_MAP and not isinstance(key, _MAP_KEY_TYPES):
+                raise ProtocolError(
+                    f"wire maps need scalar keys, not "
+                    f"{type(key).__name__}"
+                )
+            value, offset = _decode_body(blob, offset, depth + 1)
             out[key] = value
         return out, offset
     raise ProtocolError(f"unknown wire tag {tag}")
+
+
+# -- the framed request envelope ---------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Frame:
+    """One decoded request/response envelope.
+
+    Attributes:
+        kind: the message kind — an entity method name (``"psi_round"``)
+            or a reserved control kind (``"__construct__"``,
+            ``"__result__"``, ``"__error__"``, ...).
+        correlation_id: pairs a response to its request on a channel
+            that multiplexes concurrent queries (the coalescing
+            scheduler and direct callers share one connection).
+        span: the contiguous χ shard span ``(lo, hi)`` this message
+            covers; :data:`FULL_SPAN` means the whole sweep.
+        payload: the codec-decoded message body.
+    """
+
+    kind: str
+    correlation_id: int
+    span: tuple[int, int]
+    payload: object
+
+
+_FRAME_HEADER = struct.Struct("<BBQqq")
+
+
+def encode_frame(kind: str, correlation_id: int, span, payload) -> bytes:
+    """Encode one framed message (envelope + codec-encoded payload).
+
+    Raises:
+        ProtocolError: for a non-string kind, a malformed span, or an
+            unencodable payload.
+    """
+    if not isinstance(kind, str) or not kind:
+        raise ProtocolError("frame kind must be a non-empty string")
+    try:
+        lo, hi = int(span[0]), int(span[1])
+    except (TypeError, ValueError, IndexError):
+        raise ProtocolError(f"frame span must be (lo, hi), got {span!r}"
+                            ) from None
+    if (lo, hi) != FULL_SPAN and not 0 <= lo < hi:
+        raise ProtocolError(f"frame span ({lo}, {hi}) is not a χ span")
+    header = _FRAME_HEADER.pack(FRAME_MAGIC, VERSION,
+                                int(correlation_id), lo, hi)
+    return header + _encode_body(kind) + _encode_body(payload)
+
+
+def decode_frame(blob: bytes) -> Frame:
+    """Decode one framed message produced by :func:`encode_frame`.
+
+    Raises:
+        ProtocolError: on a bad frame magic, unknown version, malformed
+            kind/span, truncated body, or trailing bytes.
+    """
+    if len(blob) < _FRAME_HEADER.size:
+        raise ProtocolError("wire frame too short for its envelope")
+    magic, version, correlation_id, lo, hi = _FRAME_HEADER.unpack_from(blob, 0)
+    if magic != FRAME_MAGIC:
+        raise ProtocolError(f"bad frame magic byte 0x{magic:02x}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported frame version {version}")
+    if (lo, hi) != FULL_SPAN and not 0 <= lo < hi:
+        raise ProtocolError(f"frame span ({lo}, {hi}) is not a χ span")
+    kind, offset = _decode_body(blob, _FRAME_HEADER.size)
+    if not isinstance(kind, str) or not kind:
+        raise ProtocolError("frame kind must be a non-empty string")
+    payload, offset = _decode_body(blob, offset)
+    if offset != len(blob):
+        raise ProtocolError(
+            f"{len(blob) - offset} trailing bytes after the frame")
+    return Frame(kind=kind, correlation_id=int(correlation_id),
+                 span=(lo, hi), payload=payload)

@@ -1,0 +1,399 @@
+"""The standalone entity host: one Prism entity behind the wire codec.
+
+``repro-entity-host`` (also ``python -m repro.network.host``) runs an
+entity — today: a :class:`~repro.entities.server.PrismServer` or any
+registered subclass, including the malicious ones — in its own OS
+process, speaking the framed RPC protocol of :mod:`repro.network.rpc`
+over TCP.  A :class:`~repro.core.system.PrismSystem` built with
+``deployment="tcp://..."`` bootstraps each host with a
+``__construct__`` request carrying the server index, the wire-encoded
+§4 parameter view, and (optionally) the dotted path of a server
+subclass to instantiate — which is how malicious-server fault injection
+works across a real socket.
+
+The same dispatch adapter backs all three channels: the
+``SubprocessChannel`` serves it from a forked child over a pipe, and
+the ``InProcessChannel`` calls it directly, so behaviour is identical
+from zero-copy to real sockets.
+
+Span-scoped requests: a kernel request whose frame envelope names a
+shard span ``(lo, hi)`` computes only that contiguous χ span of the
+fused sweep (via :func:`repro.core.sharding.compute_sweep_span`, the
+same code path the forked shard workers run), which is the hook a
+multi-connection distributed dispatcher shards sweeps across hosts
+with.  Whole-sweep requests may instead carry a ``num_shards`` keyword,
+which the host honours with its local shard plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import socket
+import sys
+
+from repro.core.sharding import ShardPlan, compute_sweep_span
+from repro.data.storage import ShareKind
+from repro.entities.server import PrismServer
+from repro.exceptions import ProtocolError
+from repro.network.codec import FULL_SPAN, decode_frame, encode_frame
+from repro.network.rpc import (
+    CONSTRUCT,
+    ERROR,
+    PING,
+    RESULT,
+    SHUTDOWN,
+    RpcMessage,
+    recv_frame,
+    send_frame,
+    server_params_from_wire,
+)
+
+#: PrismServer methods callable over a channel.  An explicit allowlist:
+#: a frame from the network must never reach private helpers or the
+#: store directly.
+SERVER_METHODS = frozenset({
+    "receive_shares",
+    "owners_with",
+    "fetch_additive",
+    "fetch_shamir",
+    "psi_round",
+    "verification_round",
+    "psu_round",
+    "count_round",
+    "count_verification_round",
+    "aggregate_round",
+    "psi_round_batch",
+    "count_round_batch",
+    "psu_round_batch",
+    "aggregate_round_batch",
+    "extrema_collect",
+    "fpos_round",
+    "forward",
+    "close",
+})
+
+#: Kernels that accept a per-call shard plan (shipped as ``num_shards``).
+_SHARDED_KERNELS = frozenset({
+    "psi_round_batch", "count_round_batch", "psu_round_batch",
+    "aggregate_round_batch",
+})
+
+
+class ServerAdapter:
+    """Dispatches channel messages onto one hosted server entity."""
+
+    def __init__(self, server: PrismServer):
+        self.server = server
+
+    def dispatch(self, message: RpcMessage) -> RpcMessage:
+        """Execute one request; errors become ``__error__`` replies."""
+        try:
+            payload = self._dispatch(message)
+        except Exception as exc:  # every failure must travel back
+            return RpcMessage(ERROR,
+                              {"type": type(exc).__name__,
+                               "message": str(exc)},
+                              message.correlation_id, message.span)
+        return RpcMessage(RESULT, payload, message.correlation_id,
+                          message.span)
+
+    def _dispatch(self, message: RpcMessage):
+        kind = message.kind
+        if kind == PING:
+            return {"entity": "server", "index": self.server.index,
+                    "columns": len(self.server.store)}
+        body = message.payload if isinstance(message.payload, dict) else {}
+        args = list(body.get("a", ()))
+        kwargs = dict(body.get("k", {}))
+        if kind not in SERVER_METHODS:
+            raise ProtocolError(f"unknown server RPC {kind!r}")
+        if kind == "receive_shares":
+            # The wire carries the ShareKind as its string value.
+            args[3] = ShareKind(args[3])
+        if kind in _SHARDED_KERNELS:
+            num_shards = kwargs.pop("num_shards", None)
+            if num_shards is not None and int(num_shards) > 1:
+                # The host shards with its own local plan (thread sweep
+                # with num_shards chunks, or its per-host worker pool if
+                # one was attached); outputs are bit-identical either way.
+                kwargs["shard_plan"] = ShardPlan(int(num_shards),
+                                                 self._local_runtime())
+        if message.span != FULL_SPAN:
+            # Every span-scoped request goes through the span path,
+            # which loudly rejects unsupported kinds — silently
+            # returning a full sweep labeled with a span would corrupt
+            # a concatenating dispatcher.
+            return self._span_request(kind, args, kwargs, message.span)
+        return getattr(self.server, kind)(*args, **kwargs)
+
+    def _local_runtime(self):
+        plan = self.server.shard_plan
+        return plan.runtime if plan is not None else None
+
+    def _span_request(self, kind, args, kwargs, span):
+        """One contiguous χ span of a fused sweep (see module docstring).
+
+        Supported for the Eq. 3 / Eq. 7 family; the span kernel reads
+        the store directly (exactly like a forked shard worker), so it
+        refuses servers whose kernels are overridden — a malicious or
+        instrumented subclass must keep misbehaving per call, never be
+        silently bypassed by span dispatch.
+        """
+        if kind != "psi_round_batch":
+            raise ProtocolError(
+                f"span-scoped execution is not supported for {kind!r}; "
+                f"send a whole-sweep request with num_shards instead"
+            )
+        server = self.server
+        if (type(server) is not PrismServer
+                or server._kernel_overridden("psi_round",
+                                             "verification_round")):
+            raise ProtocolError(
+                "span-scoped execution requires an unmodified server"
+            )
+        columns = list(args[0]) if args else list(kwargs.get("columns", ()))
+        owner_ids = kwargs.get("owner_ids")
+        if owner_ids is None and len(args) > 2:
+            owner_ids = args[2]
+        subtract_m = kwargs.get("subtract_m")
+        if subtract_m is None and len(args) > 3:
+            subtract_m = args[3]
+        if subtract_m is None:
+            subtract_m = [True] * len(columns)
+        if not columns or len(subtract_m) != len(columns):
+            raise ProtocolError("malformed span request")
+        owners = [list(owner_ids) if owner_ids is not None
+                  else server.store.owners_with(column)
+                  for column in columns]
+        n = server.store.get(owners[0][0], columns[0]).values.shape[0]
+        lo, hi = span
+        if hi > n:
+            raise ProtocolError(f"span ({lo}, {hi}) exceeds χ length {n}")
+        m_rows = server._batch_m_shares(list(subtract_m), len(owners[0]),
+                                        owner_ids)
+        spec = {
+            "columns": columns,
+            "owners": owners,
+            "m_rows": [int(v) for v in m_rows.ravel()],
+            "rows": len(columns),
+        }
+        return compute_sweep_span(server, "psi", spec, lo, hi)
+
+
+def adapter_for(entity) -> ServerAdapter:
+    """The dispatch adapter for a hosted entity (servers, today)."""
+    if isinstance(entity, ServerAdapter):
+        return entity
+    if isinstance(entity, PrismServer):
+        return ServerAdapter(entity)
+    raise ProtocolError(
+        f"no host adapter for entity type {type(entity).__name__}"
+    )
+
+
+def _resolve_server_class(path) -> type:
+    """Import a server class by dotted path, restricted to this package.
+
+    The host only instantiates :class:`PrismServer` subclasses from the
+    ``repro.`` namespace — enough for the adversary classes used by
+    fault-injection tests, without turning the bootstrap into an
+    arbitrary-import primitive.
+    """
+    if path is None:
+        return PrismServer
+    path = str(path)
+    if not path.startswith("repro."):
+        raise ProtocolError(
+            f"server class {path!r} is outside the repro package")
+    module_name, _, class_name = path.rpartition(".")
+    try:
+        cls = getattr(importlib.import_module(module_name), class_name)
+    except (ImportError, AttributeError) as exc:
+        raise ProtocolError(f"cannot import server class {path!r}: {exc}"
+                            ) from exc
+    if not (isinstance(cls, type) and issubclass(cls, PrismServer)):
+        raise ProtocolError(f"{path!r} is not a PrismServer subclass")
+    return cls
+
+
+def build_adapter(payload) -> ServerAdapter:
+    """Construct the hosted entity from a ``__construct__`` payload."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("construct payload must be a dict")
+    entity = payload.get("entity", "server")
+    if entity != "server":
+        raise ProtocolError(f"cannot host entity kind {entity!r}")
+    cls = _resolve_server_class(payload.get("server_class"))
+    kwargs = payload.get("kwargs") or {}
+    params = server_params_from_wire(payload["params"])
+    return ServerAdapter(cls(int(payload["index"]), params, **kwargs))
+
+
+class EntityHost:
+    """Serves framed requests from a stream onto one entity adapter."""
+
+    def __init__(self, adapter: ServerAdapter | None = None):
+        self.adapter = adapter
+
+    def serve_stream(self, sock: socket.socket) -> bool:
+        """Serve one connection until EOF or shutdown.
+
+        Returns ``True`` when the peer simply disconnected (the host
+        should keep accepting) and ``False`` after a ``__shutdown__``
+        request (the host process should exit).
+        """
+        while True:
+            blob = recv_frame(sock)
+            if blob is None:
+                return True
+            try:
+                frame = decode_frame(blob)
+            except ProtocolError as exc:
+                self._reply(sock, RpcMessage(
+                    ERROR, {"type": "ProtocolError", "message": str(exc)}))
+                continue
+            message = RpcMessage(frame.kind, frame.payload,
+                                 frame.correlation_id, frame.span)
+            if message.kind == SHUTDOWN:
+                self._reply(sock, RpcMessage(RESULT, None,
+                                             message.correlation_id))
+                return False
+            if message.kind == CONSTRUCT:
+                try:
+                    self.adapter = build_adapter(message.payload)
+                    reply = RpcMessage(RESULT,
+                                       {"entity": "server",
+                                        "index": self.adapter.server.index},
+                                       message.correlation_id)
+                except Exception as exc:
+                    reply = RpcMessage(ERROR,
+                                       {"type": type(exc).__name__,
+                                        "message": str(exc)},
+                                       message.correlation_id)
+                self._reply(sock, reply)
+                continue
+            if self.adapter is None:
+                self._reply(sock, RpcMessage(
+                    ERROR,
+                    {"type": "ProtocolError",
+                     "message": "no entity constructed on this host yet"},
+                    message.correlation_id))
+                continue
+            self._reply(sock, self.adapter.dispatch(message))
+
+    @staticmethod
+    def _reply(sock: socket.socket, reply: RpcMessage) -> None:
+        send_frame(sock, encode_frame(reply.kind, reply.correlation_id,
+                                      reply.span, reply.payload))
+
+
+def child_serve(sock: socket.socket, entity_factory) -> None:
+    """Entry point of a :class:`SubprocessChannel` child (post-fork)."""
+    adapter = None
+    if entity_factory is not None:
+        adapter = adapter_for(entity_factory())
+    try:
+        EntityHost(adapter).serve_stream(sock)
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def serve_listener(listener: socket.socket) -> None:
+    """Accept connections until a client requests shutdown.
+
+    A misbehaving or killed *client* (mid-frame EOF, broken pipe) must
+    not take the host down — the host keeps serving the next
+    connection; only an explicit ``__shutdown__`` ends the process.
+    """
+    host = EntityHost()
+    while True:
+        conn, _ = listener.accept()
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            try:
+                if not host.serve_stream(conn):
+                    return
+            except (ProtocolError, OSError) as exc:
+                print(f"entity host: dropping connection: {exc}",
+                      file=sys.stderr, flush=True)
+
+
+def serve_tcp(port: int, host: str = "127.0.0.1", announce=print) -> None:
+    """Bind, announce ``LISTENING <port>``, and serve until shutdown.
+
+    ``port=0`` picks an ephemeral port — the announcement line is how
+    launchers (the CI smoke, ``examples/distributed_serving.py``)
+    discover it.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as listener:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen()
+        if announce is not None:
+            announce(f"LISTENING {listener.getsockname()[1]}", flush=True)
+        serve_listener(listener)
+
+
+def launch_forked_hosts(count: int = 3, host: str = "127.0.0.1"):
+    """Fork ``count`` entity-host processes on ephemeral ports.
+
+    The listeners are bound in the parent (so there is no port race)
+    and inherited by the children through the fork.  Returns
+    ``(deployment_spec, processes)`` where the spec is a ready-to-use
+    ``"tcp://host:port,..."`` string; terminate the processes when done.
+    """
+    import multiprocessing
+    context = multiprocessing.get_context("fork")
+    listeners = []
+    for _ in range(count):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, 0))
+        listener.listen()
+        listeners.append(listener)
+    processes = []
+    for index in range(count):
+        process = context.Process(target=_serve_one_of,
+                                  args=(listeners, index),
+                                  name="repro-entity-host", daemon=True)
+        process.start()
+        processes.append(process)
+    spec = "tcp://" + ",".join(
+        f"{host}:{listener.getsockname()[1]}" for listener in listeners)
+    for listener in listeners:
+        listener.close()  # the children hold their own inherited copies
+    return spec, processes
+
+
+def _serve_one_of(listeners: list[socket.socket], index: int) -> None:
+    """Child entry for :func:`launch_forked_hosts`: serve one listener.
+
+    The fork hands every child *all* the listener fds; the siblings'
+    copies must be closed, or a dead host's port would keep accepting
+    connections (into a backlog nobody drains) instead of refusing
+    them — clients would hang forever rather than fail fast.
+    """
+    for other, listener in enumerate(listeners):
+        if other != index:
+            listener.close()
+    serve_listener(listeners[index])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Host one Prism entity behind the wire codec over TCP.")
+    parser.add_argument("--port", type=int, default=9041,
+                        help="TCP port (0 = ephemeral; announced on stdout)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback)")
+    args = parser.parse_args(argv)
+    serve_tcp(args.port, args.host)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ orchestrator, which hands it to the receiving entity.  What it *does* do:
 
 from __future__ import annotations
 
+import collections
 import threading
 
 from repro.exceptions import ProtocolError
@@ -21,29 +22,45 @@ from repro.network.message import Endpoint, Message, Role, payload_nbytes
 class TrafficStats:
     """Aggregated traffic counters, grouped by (sender role, receiver role).
 
-    The full message log is retained for inspection, but the aggregate
-    counters are maintained incrementally so :meth:`summary` stays O(1) —
-    the per-query result objects snapshot it, and a long-lived serving
-    deployment must not slow down as its transcript grows.
+    Every aggregate (:attr:`total_messages`, :attr:`total_bytes`, the
+    per-pair and per-kind maps) is maintained incrementally, so
+    :meth:`summary` stays O(1) and — crucially for a long-lived serving
+    deployment — recording a transfer allocates nothing that grows with
+    the transcript.  The *full* message log is an opt-in bounded ring
+    buffer: pass ``retain_messages=N`` to keep the most recent ``N``
+    :class:`~repro.network.message.Message` records for inspection
+    (topology tests, debugging).  The default retains none; counters —
+    including :attr:`total_messages`, which counts every transfer ever
+    recorded regardless of retention — are unaffected either way.
+
+    Args:
+        retain_messages: ring-buffer capacity for the message log
+            (``0`` = keep no per-message records, the default).
     """
 
-    def __init__(self):
-        self.messages: list[Message] = []
+    def __init__(self, retain_messages: int = 0):
+        self.retain_messages = max(0, int(retain_messages))
+        self._recent: collections.deque[Message] | None = (
+            collections.deque(maxlen=self.retain_messages)
+            if self.retain_messages else None)
         self.rounds = 0
+        self._total_messages = 0
         self._total_bytes = 0
         self._bytes_by_pair: dict[tuple[Role, Role], int] = {}
         self._messages_by_kind: dict[str, int] = {}
         self._lock = threading.Lock()
 
     def record(self, message: Message) -> None:
-        """Append one transfer to the log and the running counters.
+        """Fold one transfer into the running counters (and the ring).
 
         Locked: the read-add-store counter updates would otherwise lose
         increments under concurrent queries (scheduler thread + direct
         callers share one transport).
         """
         with self._lock:
-            self.messages.append(message)
+            if self._recent is not None:
+                self._recent.append(message)
+            self._total_messages += 1
             self._total_bytes += message.nbytes
             pair = (message.sender.role, message.receiver.role)
             self._bytes_by_pair[pair] = (
@@ -52,12 +69,24 @@ class TrafficStats:
                 self._messages_by_kind.get(message.kind, 0) + 1)
 
     @property
+    def messages(self) -> list[Message]:
+        """The retained message records, oldest first.
+
+        Empty unless the stats were created with ``retain_messages > 0``
+        (retention is opt-in; an unbounded log would grow forever in a
+        serving deployment).  At most the most recent ``retain_messages``
+        transfers are kept; :attr:`total_messages` always counts all.
+        """
+        return list(self._recent) if self._recent is not None else []
+
+    @property
     def total_bytes(self) -> int:
         return self._total_bytes
 
     @property
     def total_messages(self) -> int:
-        return len(self.messages)
+        """Transfers recorded since construction (independent of the ring)."""
+        return self._total_messages
 
     def bytes_between(self, sender_role: Role, receiver_role: Role) -> int:
         return self._bytes_by_pair.get((sender_role, receiver_role), 0)
@@ -101,10 +130,13 @@ class LocalTransport:
             true wire sizes and any non-serialisable payload fails fast —
             useful for conformance tests and for splitting entities across
             processes later.
+        retain_messages: keep the most recent N per-message records in
+            :attr:`TrafficStats.messages` (default 0: counters only).
     """
 
-    def __init__(self, serialize: bool = False):
-        self.stats = TrafficStats()
+    def __init__(self, serialize: bool = False, retain_messages: int = 0):
+        self.retain_messages = retain_messages
+        self.stats = TrafficStats(retain_messages=retain_messages)
         self.serialize = serialize
 
     def begin_round(self, label: str = "") -> None:
@@ -140,6 +172,13 @@ class LocalTransport:
             self.transfer(sender, receiver, kind, payload)
         return payload
 
-    def reset(self) -> None:
-        """Clear all counters (used between benchmark iterations)."""
-        self.stats = TrafficStats()
+    def reset(self, retain_messages: int | None = None) -> None:
+        """Clear all counters (used between benchmark iterations).
+
+        ``retain_messages`` re-arms the per-message ring buffer at a new
+        capacity for the fresh stats (``None`` keeps the transport's
+        configured retention).
+        """
+        if retain_messages is not None:
+            self.retain_messages = retain_messages
+        self.stats = TrafficStats(retain_messages=self.retain_messages)

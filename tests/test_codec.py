@@ -1,12 +1,22 @@
 """Tests for the binary wire codec and serialized-transport conformance."""
 
+import math
+import struct
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Domain, PrismSystem, Relation
 from repro.exceptions import ProtocolError
-from repro.network.codec import MAGIC, decode, encode
+from repro.network.codec import (
+    FULL_SPAN,
+    MAGIC,
+    decode,
+    decode_frame,
+    encode,
+    encode_frame,
+)
 
 
 class TestRoundTrips:
@@ -112,17 +122,31 @@ class TestValidation:
         with pytest.raises(ProtocolError):
             encode(np.zeros((2, 2, 2), dtype=np.int64))
 
-    def test_bool_rejected(self):
-        with pytest.raises(ProtocolError):
-            encode(True)
+    def test_bool_roundtrips_as_bool(self):
+        # Booleans have a dedicated tag (the RPC kernel flag lists):
+        # they must come back as bools, never as 0/1 ints.
+        for flag in (True, False):
+            out = decode(encode(flag))
+            assert out is flag
 
-    def test_non_string_dict_key_rejected(self):
+    def test_int_keyed_map_roundtrips(self):
+        # The extrema rounds key share dicts by owner id.
+        payload = {0: 2**90, 1: 7, 2: -3}
+        out = decode(encode(payload))
+        assert out == payload
+        assert all(isinstance(k, int) for k in out)
+
+    def test_container_map_key_rejected(self):
         with pytest.raises(ProtocolError):
-            encode({1: 2})
+            encode({(1, 2): 3})
 
     def test_opaque_object_rejected(self):
         with pytest.raises(ProtocolError):
             encode(object())
+
+    def test_opaque_map_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode({object(): 1})
 
 
 class TestSerializedTransportConformance:
@@ -168,3 +192,220 @@ class TestSerializedTransportConformance:
         predicted = CostModel(3, 8).psi()
         messages = 2 * 3  # 2 servers broadcast to 3 owners
         assert measured == predicted.server_to_owner_bytes + 19 * messages
+
+
+# -- satellite hardening: fuzz/property coverage for every tag ---------------
+#
+# Frames arrive from real sockets now (the deployment channels), so the
+# decoder must turn *any* malformed byte string into a ProtocolError —
+# never an unhandled struct/unicode/recursion error — and every tag must
+# round-trip exactly.
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**200), 2**200),
+    st.floats(allow_nan=False, allow_infinity=True),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+vectors = st.lists(
+    st.integers(-(2**63), 2**63 - 1), max_size=16
+).map(lambda v: np.asarray(v, dtype=np.int64))
+
+matrices = st.tuples(
+    st.integers(0, 4), st.integers(0, 4), st.integers(-(2**40), 2**40)
+).map(lambda rc: np.full((rc[0], rc[1]), rc[2], dtype=np.int64))
+
+
+def payloads(depth=2):
+    if depth == 0:
+        return st.one_of(scalars, vectors, matrices)
+    inner = payloads(depth - 1)
+    return st.one_of(
+        scalars,
+        vectors,
+        matrices,
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=6), inner, max_size=4),
+        st.dictionaries(st.integers(0, 50), inner, max_size=4),
+    )
+
+
+def assert_payload_equal(left, right):
+    if isinstance(left, np.ndarray):
+        assert isinstance(right, np.ndarray)
+        assert left.shape == right.shape
+        assert np.array_equal(left, right)
+        return
+    assert type(right) is type(left) or (
+        isinstance(left, (int, float)) and isinstance(right, (int, float)))
+    if isinstance(left, dict):
+        assert left.keys() == right.keys()
+        for key in left:
+            assert_payload_equal(left[key], right[key])
+    elif isinstance(left, (list, tuple)):
+        assert len(left) == len(right)
+        for a, b in zip(left, right):
+            assert_payload_equal(a, b)
+    else:
+        assert left == right
+
+
+class TestEveryTagRoundTrips:
+    @given(payloads())
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, payload):
+        assert_payload_equal(payload, decode(encode(payload)))
+
+    def test_bytes_tag(self):
+        blob = bytes(range(256))
+        assert decode(encode(blob)) == blob
+        assert decode(encode(bytearray(b"xy"))) == b"xy"
+
+    def test_float_tag(self):
+        for value in (0.0, -1.5, 1e300, float("inf"), float("-inf")):
+            assert decode(encode(value)) == value
+        out = decode(encode(float("nan")))
+        assert math.isnan(out)
+
+    def test_numpy_scalars(self):
+        assert decode(encode(np.int64(7))) == 7
+        assert decode(encode(np.float64(1.25))) == 1.25
+        assert decode(encode(np.bool_(True))) is True
+
+
+class TestDecoderHardening:
+    @given(payloads(depth=1), st.integers(0, 400))
+    @settings(max_examples=150, deadline=None)
+    def test_every_strict_prefix_raises(self, payload, cut):
+        blob = encode(payload)
+        prefix = blob[:min(cut, len(blob) - 1)]
+        with pytest.raises(ProtocolError):
+            decode(prefix)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=300, deadline=None)
+    def test_garbage_never_escapes_protocolerror(self, blob):
+        try:
+            decode(blob)
+        except ProtocolError:
+            pass  # the only acceptable failure mode
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=300, deadline=None)
+    def test_garbage_with_valid_header(self, body):
+        try:
+            decode(struct.pack("<BB", MAGIC, 1) + body)
+        except ProtocolError:
+            pass
+
+    def test_bad_magic_and_version(self):
+        blob = bytearray(encode(5))
+        blob[0] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decode(bytes(blob))
+        blob = bytearray(encode(5))
+        blob[1] = 200
+        with pytest.raises(ProtocolError):
+            decode(bytes(blob))
+
+    def test_unknown_tag_raises(self):
+        for tag in (0, 13, 57, 255):
+            with pytest.raises(ProtocolError):
+                decode(struct.pack("<BBB", MAGIC, 1, tag))
+
+    def test_non_utf8_string_raises(self):
+        blob = struct.pack("<BBBQ", MAGIC, 1, 7, 2) + b"\xff\xfe"
+        with pytest.raises(ProtocolError):
+            decode(blob)
+
+    def test_depth_bomb_raises_not_recurses(self):
+        # 2000 nested single-item lists: must hit the depth cap, not
+        # the interpreter's recursion limit.
+        bomb = struct.pack("<BB", MAGIC, 1)
+        bomb += struct.pack("<BQ", 3, 1) * 2000 + struct.pack("<B", 6)
+        with pytest.raises(ProtocolError):
+            decode(bomb)
+
+    def test_deep_payload_encode_rejected(self):
+        payload = None
+        for _ in range(100):
+            payload = [payload]
+        with pytest.raises(ProtocolError):
+            encode(payload)
+
+    def test_huge_vector_length_raises(self):
+        blob = struct.pack("<BBBQ", MAGIC, 1, 1, 2**60)
+        with pytest.raises(ProtocolError):
+            decode(blob)
+
+    def test_huge_matrix_header_raises(self):
+        blob = struct.pack("<BBBQQ", MAGIC, 1, 8, 2**32, 2**32)
+        with pytest.raises(ProtocolError):
+            decode(blob)
+
+    def test_bad_bool_byte_raises(self):
+        blob = struct.pack("<BBBB", MAGIC, 1, 9, 7)
+        with pytest.raises(ProtocolError):
+            decode(blob)
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        payload = {"a": [np.arange(4, dtype=np.int64), "psi"], "k": {"x": 1}}
+        blob = encode_frame("psi_round_batch", 42, (0, 100), payload)
+        frame = decode_frame(blob)
+        assert frame.kind == "psi_round_batch"
+        assert frame.correlation_id == 42
+        assert frame.span == (0, 100)
+        assert np.array_equal(frame.payload["a"][0], np.arange(4))
+
+    def test_full_span_default(self):
+        frame = decode_frame(encode_frame("__ping__", 1, FULL_SPAN, None))
+        assert frame.span == FULL_SPAN
+        assert frame.payload is None
+
+    @given(st.integers(0, 2**63 - 1), payloads(depth=1))
+    @settings(max_examples=60, deadline=None)
+    def test_correlation_and_payload_survive(self, correlation_id, payload):
+        frame = decode_frame(
+            encode_frame("m", correlation_id, (3, 9), payload))
+        assert frame.correlation_id == correlation_id
+        assert frame.span == (3, 9)
+        assert_payload_equal(payload, frame.payload)
+
+    def test_payload_magic_is_not_a_frame(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(encode(5))
+
+    def test_frame_magic_is_not_a_payload(self):
+        with pytest.raises(ProtocolError):
+            decode(encode_frame("m", 1, FULL_SPAN, None))
+
+    def test_bad_span_rejected_both_ways(self):
+        with pytest.raises(ProtocolError):
+            encode_frame("m", 1, (5, 2), None)
+        blob = bytearray(encode_frame("m", 1, (2, 5), None))
+        # lo=7 > hi=5 in the fixed-offset span slots of the envelope.
+        blob[10:18] = struct.pack("<q", 7)
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(blob))
+
+    def test_non_string_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(None, 1, FULL_SPAN, None)
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(encode_frame("m", 1, FULL_SPAN, None) + b"z")
+
+    @given(st.binary(min_size=0, max_size=80))
+    @settings(max_examples=300, deadline=None)
+    def test_frame_garbage_never_escapes_protocolerror(self, blob):
+        try:
+            decode_frame(blob)
+        except ProtocolError:
+            pass

@@ -162,8 +162,11 @@ class TestExtremaProtocolShape:
     def test_announcer_never_talks_to_owners(self):
         from repro.network.message import Role
         system = value_system(OWNERS)
-        system.transport.reset()
+        # Per-message records are opt-in (bounded ring) since the
+        # TrafficStats memory fix; this topology check needs them.
+        system.transport.reset(retain_messages=100_000)
         system.psi_max("k", "v")
+        assert system.transport.stats.messages, "retention was enabled"
         for msg in system.transport.stats.messages:
             assert not (msg.sender.role is Role.ANNOUNCER
                         and msg.receiver.role is Role.OWNER)

@@ -84,3 +84,44 @@ class TestTransport:
 
     def test_endpoint_str(self):
         assert str(SERVER1) == "server1"
+
+
+class TestMessageRetention:
+    """The TrafficStats memory fix: O(1) counters, opt-in bounded ring."""
+
+    def test_default_retains_no_messages(self):
+        t = LocalTransport()
+        for _ in range(5):
+            t.transfer(OWNER0, SERVER0, "a", [1])
+        assert t.stats.messages == []
+        assert t.stats.total_messages == 5
+        assert t.stats.total_bytes == 5 * 8
+
+    def test_ring_buffer_is_bounded(self):
+        t = LocalTransport(retain_messages=3)
+        for i in range(10):
+            t.transfer(OWNER0, SERVER0, f"m{i}", [i])
+        kept = t.stats.messages
+        assert [m.kind for m in kept] == ["m7", "m8", "m9"]
+        # total_messages counts every transfer, not just the retained.
+        assert t.stats.total_messages == 10
+
+    def test_counters_identical_with_and_without_retention(self):
+        full = LocalTransport(retain_messages=100)
+        lean = LocalTransport()
+        for t in (full, lean):
+            t.begin_round("r")
+            t.transfer(OWNER0, SERVER0, "a", np.zeros(4, dtype=np.int64))
+            t.broadcast(SERVER0, [OWNER0, OWNER1], "b", [1, 2])
+        assert full.stats.summary() == lean.stats.summary()
+        assert full.stats.messages_by_kind == lean.stats.messages_by_kind
+
+    def test_reset_rearms_retention(self):
+        t = LocalTransport()
+        t.transfer(OWNER0, SERVER0, "a", [1])
+        t.reset(retain_messages=2)
+        t.transfer(OWNER0, SERVER0, "b", [1])
+        assert [m.kind for m in t.stats.messages] == ["b"]
+        t.reset()  # keeps the configured retention
+        t.transfer(OWNER0, SERVER0, "c", [1])
+        assert [m.kind for m in t.stats.messages] == ["c"]

@@ -352,3 +352,59 @@ class TestFetchMemo:
             ])
             info = store.fetch_cache_info()
             assert info["misses"] == info["entries"]
+
+
+from tests.conftest import make_system  # noqa: E402  (auto-shard tests)
+
+
+class TestAutoShards:
+    """num_shards="auto": shard count and mode from rows and cores."""
+
+    def test_tiny_sweeps_stay_unsharded(self):
+        from repro.core.sharding import auto_shard_plan
+        assert auto_shard_plan(100, cpu_count=8) == (1, False)
+        assert auto_shard_plan(10**6, cpu_count=1) == (1, False)
+
+    def test_scales_with_rows_then_caps_at_cores(self):
+        from repro.core.sharding import (
+            AUTO_ROWS_PER_SHARD,
+            auto_shard_plan,
+        )
+        shards, _ = auto_shard_plan(2 * AUTO_ROWS_PER_SHARD, cpu_count=8)
+        assert shards == 2
+        shards, _ = auto_shard_plan(100 * AUTO_ROWS_PER_SHARD, cpu_count=4)
+        assert shards == 4
+
+    def test_worker_mode_needs_large_sweeps(self):
+        from repro.core.sharding import (
+            AUTO_WORKER_MIN_ROWS,
+            auto_shard_plan,
+            processes_available,
+        )
+        _, workers = auto_shard_plan(AUTO_WORKER_MIN_ROWS // 2, cpu_count=8)
+        assert workers is False
+        _, workers = auto_shard_plan(4 * AUTO_WORKER_MIN_ROWS, cpu_count=8)
+        assert workers is processes_available()
+
+    def test_system_accepts_auto(self):
+        system = make_system([{1, 2, 3}, {2, 3, 4}], num_shards="auto")
+        try:
+            # A tiny domain resolves to 1 shard; queries run unchanged.
+            assert system.num_shards >= 1
+            assert sorted(system.psi("A").values) == [2, 3]
+            # The per-call "auto" resolution must agree with the
+            # construction-time one (same χ length, same heuristic).
+            assert system.shard_plan_for("auto").num_shards == \
+                system.num_shards
+        finally:
+            system.close()
+
+    def test_client_accepts_auto(self):
+        system = make_system([{1, 2}, {2, 3}])
+        try:
+            with system.client(num_shards="auto") as client:
+                result = client.execute(
+                    "SELECT A FROM o0 INTERSECT SELECT A FROM o1")
+                assert sorted(result.values) == [2]
+        finally:
+            system.close()
