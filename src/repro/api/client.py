@@ -39,6 +39,14 @@ pins the scheduler for deterministic coalescing (tests, bulk loads).  If
 a fused tick fails (e.g. one query's verification trips), the scheduler
 re-runs that tick's queries individually so the failure lands only on
 the offending future.
+
+Interactive queries (MAX/MIN/MEDIAN, bucketized PSI) coexist with the
+coalesced batches: a submitted plan with interactive units becomes a
+*job* — a steppable :class:`~repro.api.executor.QueryProgram` — and the
+scheduler advances it one protocol round per loop iteration, draining
+freshly submitted batchable queries between rounds.  A ten-round median
+therefore never blocks the drain tick for longer than one round, and a
+failing round poisons only its own future.
 """
 
 from __future__ import annotations
@@ -48,10 +56,20 @@ import threading
 import time
 from concurrent.futures import Future
 
-from repro.api.executor import Executor
+from repro.api.executor import BATCHED, DISPATCH, Executor
 from repro.api.planner import Planner
 from repro.api.sql import split_explain
 from repro.exceptions import QueryError
+
+
+def _plan_is_interactive(plan) -> bool:
+    """Whether any unit needs the round-stepped job lane.
+
+    Unknown dispatch kinds also land here: the job lane surfaces their
+    :class:`~repro.exceptions.QueryError` on the owning future alone.
+    """
+    return any(DISPATCH.get(unit.kind) is not BATCHED
+               for unit in plan.units())
 
 
 class _Submission:
@@ -64,6 +82,16 @@ class _Submission:
         self.num_threads = num_threads
         self.num_shards = num_shards
         self.future: Future = Future()
+
+
+class _Job:
+    """One in-flight interactive submission, stepped round by round."""
+
+    __slots__ = ("submission", "program")
+
+    def __init__(self, submission: _Submission, program):
+        self.submission = submission
+        self.program = program
 
 
 class PrismClient:
@@ -108,6 +136,10 @@ class PrismClient:
         self._submitted = 0
         self._ticks = 0
         self._max_coalesced = 0
+        # Interactive job lane: touched only on the scheduler thread.
+        self._jobs: list[_Job] = []
+        self._interactive_jobs = 0
+        self._interactive_rounds = 0
 
     @classmethod
     def connect(cls, *args, relations=None, domain=None, psi_attribute=None,
@@ -222,9 +254,13 @@ class PrismClient:
                num_shards: int | None = None) -> Future:
         """Queue one query for coalesced execution; returns a future.
 
-        Safe to call from any thread.  All submissions in flight at the
-        scheduler's next drain tick execute as a single fused batch —
-        concurrent queries share sweeps and row-dedup automatically.
+        Safe to call from any thread.  All batchable submissions in
+        flight at the scheduler's next drain tick execute as a single
+        fused batch — concurrent queries share sweeps and row-dedup
+        automatically.  Submissions with interactive units (MAX/MIN,
+        MEDIAN, bucketized PSI) become round-stepped jobs that advance
+        one protocol round per scheduler iteration, so they coexist
+        with coalesced batches without ever blocking a drain tick.
         ``EXPLAIN`` SQL resolves immediately (nothing to coalesce).
         """
         if isinstance(query, str):
@@ -296,49 +332,81 @@ class PrismClient:
     def _scheduler_loop(self) -> None:
         while True:
             with self._cond:
-                while not (self._pending
-                           and (self._holds == 0 or self._closing)):
+                while True:
+                    drainable = bool(self._pending) and (
+                        self._holds == 0 or self._closing)
+                    if drainable or self._jobs:
+                        break
                     if self._closing and not self._pending:
+                        # _jobs is empty here (checked just above) and
+                        # only this thread appends to it.
                         return
                     # Every predicate input (submit, hold-exit, close)
                     # notifies, so an idle scheduler sleeps — no polling.
                     self._cond.wait()
                 closing = self._closing
-            if self.coalesce_window and not closing:
+            if (drainable and self.coalesce_window and not closing
+                    and not self._jobs):
                 # Give genuinely concurrent submitters a beat to land in
-                # this tick (the whole point of coalescing).
+                # this tick (the whole point of coalescing).  With jobs
+                # in flight the loop already has work — no sleeping.
                 time.sleep(self.coalesce_window)
-            with self._cond:
-                if self._holds and not self._closing:
-                    # A hold() arrived during the window: the queue is
-                    # pinned again; go back to waiting so the held
-                    # submissions drain in one tick, as promised.
-                    continue
-                items, self._pending = self._pending, []
+            items: list[_Submission] = []
+            if drainable:
+                with self._cond:
+                    if not (self._holds and not self._closing):
+                        items, self._pending = self._pending, []
+                    # else: a hold() arrived during the window — the
+                    # queue is pinned again; held submissions will drain
+                    # in one tick, as promised.
             items = [s for s in items
                      if s.future.set_running_or_notify_cancel()]
             if items:
                 self._run_tick(items)
+            self._step_jobs()
             with self._cond:
-                if self._closing and not self._pending:
+                if self._closing and not self._pending and not self._jobs:
                     return
 
     def _run_tick(self, items: list[_Submission]) -> None:
-        """Execute one drain tick as fused batches (per option group)."""
-        groups: dict[tuple, list[_Submission]] = {}
-        for submission in items:
-            key = (submission.num_threads, submission.num_shards)
-            groups.setdefault(key, []).append(submission)
+        """Execute one drain tick.
+
+        Batchable submissions run as fused batches (per option group);
+        submissions whose plans carry interactive units become stepped
+        jobs on the interactive lane instead, so their multi-round
+        execution never blocks the next drain.
+        """
         # One drain = one tick, however many option groups (or fallback
         # re-runs) it takes; max_coalesced tracks the largest fused batch.
         self._ticks += 1
-        self._max_coalesced = max(
-            self._max_coalesced, max(len(m) for m in groups.values()))
+        groups: dict[tuple, list[tuple[_Submission, object]]] = {}
+        for submission in items:
+            try:
+                plan = self.planner.lower(submission.query)
+            except Exception as exc:
+                submission.future.set_exception(exc)
+                continue
+            if _plan_is_interactive(plan):
+                try:
+                    with self._exec_lock:
+                        program = self.executor.program(
+                            plan, num_threads=submission.num_threads,
+                            num_shards=submission.num_shards)
+                except Exception as exc:
+                    submission.future.set_exception(exc)
+                    continue
+                self._jobs.append(_Job(submission, program))
+                self._interactive_jobs += 1
+                continue
+            key = (submission.num_threads, submission.num_shards)
+            groups.setdefault(key, []).append((submission, plan))
+        if groups:
+            self._max_coalesced = max(
+                self._max_coalesced, max(len(m) for m in groups.values()))
         for (num_threads, num_shards), members in groups.items():
             try:
                 with self._exec_lock:
-                    plans = self.planner.lower_many(
-                        [m.query for m in members])
+                    plans = [plan for _, plan in members]
                     with self._accounted(plans):
                         results = self.executor.execute_many(
                             plans, num_threads=num_threads,
@@ -347,10 +415,63 @@ class PrismClient:
                 # One bad query must not fail its tick-mates: fall back
                 # to individual execution so the exception lands only on
                 # the future(s) that earned it.
-                self._run_individually(members, num_threads, num_shards)
+                self._run_individually([m for m, _ in members],
+                                       num_threads, num_shards)
                 continue
-            for member, result in zip(members, results):
+            for (member, _), result in zip(members, results):
                 member.future.set_result(result)
+
+    def _step_jobs(self) -> None:
+        """Advance every active interactive job by exactly one quantum.
+
+        Runs on the scheduler thread between drain ticks; each quantum
+        (the job's fused batchable units, or one protocol round) holds
+        the execution lock only for its own duration, so freshly
+        submitted batchable queries drain between rounds.
+        """
+        if not self._jobs:
+            return
+        remaining: list[_Job] = []
+        for job in self._jobs:
+            try:
+                with self._exec_lock:
+                    # Snapshot inside the lock: a concurrent execute()
+                    # holds it while recording its own traffic, so an
+                    # outside snapshot would double-count those bytes.
+                    stats = self.system.transport.stats
+                    bytes_before = stats.total_bytes
+                    messages_before = stats.total_messages
+                    try:
+                        job.program.step()
+                    finally:
+                        self._interactive_rounds += 1
+                        self._traffic_bytes += (stats.total_bytes
+                                                - bytes_before)
+                        self._traffic_messages += (stats.total_messages
+                                                   - messages_before)
+            except Exception as exc:
+                job.submission.future.set_exception(exc)
+                continue
+            if job.program.done:
+                self._finish_job(job)
+            else:
+                remaining.append(job)
+        self._jobs = remaining
+
+    def _finish_job(self, job: _Job) -> None:
+        """Resolve a completed job's future and fold in session stats."""
+        program = job.program
+        try:
+            result = program.result()
+        except Exception as exc:
+            job.submission.future.set_exception(exc)
+            return
+        self._queries += 1
+        for unit in program.plan.units():
+            self._by_kind[unit.kind] = self._by_kind.get(unit.kind, 0) + 1
+        self._batched_units += program.batched_units
+        self._interactive_units += program.interactive_units
+        job.submission.future.set_result(result)
 
     def _run_individually(self, members, num_threads, num_shards) -> None:
         for member in members:
@@ -395,7 +516,9 @@ class PrismClient:
             "cache": dict(cache.stats) if cache is not None else {},
             "scheduler": {"submitted": self._submitted,
                           "ticks": self._ticks,
-                          "max_coalesced": self._max_coalesced},
+                          "max_coalesced": self._max_coalesced,
+                          "interactive_jobs": self._interactive_jobs,
+                          "interactive_rounds": self._interactive_rounds},
         }
 
 

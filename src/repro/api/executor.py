@@ -30,9 +30,12 @@ from repro.api.plan import LogicalPlan, PlanUnit
 from repro.api.planner import Planner
 from repro.core.batch import KINDS as BATCHABLE_KINDS
 from repro.core.batch import BatchQuery, QueryBatch
-from repro.core.bucketized import run_bucketized_psi
-from repro.core.extrema import run_extrema, run_median
-from repro.exceptions import QueryError
+from repro.core.interactive import (
+    BucketizedPsiProgram,
+    ExtremaProgram,
+    MedianProgram,
+)
+from repro.exceptions import ProtocolError, QueryError
 
 #: Unit kind → AGG function it computes (inverse of the plan lowering).
 _UNIT_FN = {
@@ -46,35 +49,42 @@ _UNIT_FN = {
 BATCHED = "batched"
 
 
-def _run_extrema_unit(kind):
-    def runner(system, plan, unit, num_threads, options):
-        return run_extrema(system, plan.attribute, unit.agg_attributes[0],
-                           kind=kind, reveal_holders=plan.reveal_holders,
-                           verify=plan.verify, num_threads=num_threads,
-                           querier=plan.querier, **options)
-    return runner
+def _extrema_program(kind):
+    def factory(system, plan, unit, num_threads, num_shards, options):
+        return ExtremaProgram(system, plan.attribute, unit.agg_attributes[0],
+                              kind=kind, reveal_holders=plan.reveal_holders,
+                              verify=plan.verify, num_threads=num_threads,
+                              querier=plan.querier,
+                              shard_plan=system.shard_plan_for(num_shards),
+                              **options)
+    return factory
 
 
-def _run_median_unit(system, plan, unit, num_threads, options):
-    return run_median(system, plan.attribute, unit.agg_attributes[0],
-                      num_threads=num_threads, querier=plan.querier,
-                      **options)
+def _median_program(system, plan, unit, num_threads, num_shards, options):
+    return MedianProgram(system, plan.attribute, unit.agg_attributes[0],
+                         verify=plan.verify, num_threads=num_threads,
+                         querier=plan.querier,
+                         shard_plan=system.shard_plan_for(num_shards),
+                         **options)
 
 
-def _run_bucketized_unit(system, plan, unit, num_threads, options):
-    return run_bucketized_psi(system, plan.attribute,
-                              system.bucket_tree(plan.attribute),
-                              num_threads=num_threads,
-                              querier=plan.querier, **options)
+def _bucketized_program(system, plan, unit, num_threads, num_shards, options):
+    return BucketizedPsiProgram(system, plan.attribute,
+                                system.bucket_tree(plan.attribute),
+                                num_threads=num_threads, querier=plan.querier,
+                                shard_plan=system.shard_plan_for(num_shards),
+                                **options)
 
 
-#: The single dispatch table: every unit kind, one execution route.
+#: The single dispatch table: every unit kind, one execution route —
+#: the fused batch engine, or an interactive-program factory whose
+#: round loop the executor drives.
 DISPATCH = {kind: BATCHED for kind in BATCHABLE_KINDS}
 DISPATCH.update({
-    "psi_max": _run_extrema_unit("max"),
-    "psi_min": _run_extrema_unit("min"),
-    "psi_median": _run_median_unit,
-    "bucketized_psi": _run_bucketized_unit,
+    "psi_max": _extrema_program("max"),
+    "psi_min": _extrema_program("min"),
+    "psi_median": _median_program,
+    "bucketized_psi": _bucketized_program,
 })
 
 
@@ -100,13 +110,14 @@ class Executor:
         """Lower and run one query; returns its canonical-shape result.
 
         ``num_shards`` overrides the deployment's χ-shard count for this
-        call (batchable units only; interactive runners are
-        announcer-round-bound, not sweep-bound); ``"auto"`` resolves it
+        call — for the batchable units' fused sweeps *and* for the
+        interactive units' per-round sweeps (the PSI round of
+        MAX/MIN/MEDIAN, every bucketized level); ``"auto"`` resolves it
         from the χ length and core count.  The executor is
         deployment-agnostic: when the system's servers are
         :class:`~repro.entities.remote.RemoteServer` proxies, the same
         dispatch runs over subprocess or TCP channels unchanged.
-        ``runner_options`` are forwarded to interactive runners only
+        ``runner_options`` are forwarded to interactive programs only
         (e.g. ``common_values=`` for extrema, ``announcer_driven=`` for
         bucketized PSI); a fully-batchable plan rejects them.
         """
@@ -119,6 +130,24 @@ class Executor:
         """Run many queries; batchable units fuse into one QueryBatch."""
         plans = self.planner.lower_many(queries)
         return self._run(plans, num_threads, {}, num_shards=num_shards)
+
+    def program(self, query, num_threads: int | None = None,
+                num_shards: int | str | None = None,
+                **runner_options) -> "QueryProgram":
+        """Lower one query into a steppable :class:`QueryProgram`.
+
+        The scheduler surface behind :meth:`PrismClient.submit` for
+        plans with interactive units: the caller drives
+        :meth:`QueryProgram.step` — one batchable-unit batch, then one
+        interactive round per step — so long multi-round queries can be
+        interleaved with other work instead of monopolising the
+        executor.  ``execute``/``execute_many`` remain the one-shot
+        drivers over the same machinery.
+        """
+        plan = self.planner.lower(query)
+        return QueryProgram(self, plan, num_threads=num_threads,
+                            num_shards=num_shards,
+                            runner_options=runner_options)
 
     def explain(self, query) -> str:
         """The plan's ``describe()``, dispatch routes, and batch-plan stats.
@@ -172,6 +201,24 @@ class Executor:
             raise QueryError(f"no dispatch route for {unit.kind!r}{hint}")
         return route
 
+    @classmethod
+    def _unit_routes(cls, plan: LogicalPlan) -> list[tuple[PlanUnit, object]]:
+        """``(unit, route)`` pairs with the shared per-plan validation.
+
+        The one place unit routing and its preconditions live: both the
+        one-shot ``_run`` path and the steppable :class:`QueryProgram`
+        consume this, so they can never disagree on what a plan's units
+        need.
+        """
+        entries = []
+        for unit in plan.units():
+            route = cls._route(unit)
+            if route is not BATCHED and plan.owner_ids is not None:
+                raise QueryError(
+                    f"{unit.kind} does not support owner subsets")
+            entries.append((unit, route))
+        return entries
+
     # -- execution ------------------------------------------------------------
 
     def _run(self, plans: list[LogicalPlan], num_threads, runner_options,
@@ -181,16 +228,11 @@ class Executor:
         interactive_total = 0
         for plan in plans:
             entries: list[tuple[PlanUnit, int | None]] = []
-            for unit in plan.units():
-                route = self._route(unit)
+            for unit, route in self._unit_routes(plan):
                 if route is BATCHED:
                     batch_specs.append(self._to_batch_query(plan, unit))
                     entries.append((unit, len(batch_specs) - 1))
                 else:
-                    if plan.owner_ids is not None:
-                        raise QueryError(
-                            f"{unit.kind} does not support owner subsets"
-                        )
                     interactive_total += 1
                     entries.append((unit, None))
             layouts.append(entries)
@@ -213,8 +255,16 @@ class Executor:
                 if batch_index is not None:
                     unit_results.append(batch_results[batch_index])
                 else:
-                    unit_results.append(DISPATCH[unit.kind](
-                        self.system, plan, unit, num_threads, runner_options))
+                    # The executor owns the round loop: the interactive
+                    # kernels are state machines, not self-driving
+                    # functions (the client scheduler interleaves these
+                    # same rounds with fused batch ticks).
+                    program = DISPATCH[unit.kind](
+                        self.system, plan, unit, num_threads, num_shards,
+                        runner_options)
+                    while not program.done:
+                        program.step()
+                    unit_results.append(program.result())
             results.append(self._shape(plan, entries, unit_results))
         return results
 
@@ -244,3 +294,94 @@ class Executor:
             return by_aggregate[plan.aggregates[0]]
         return {plan.result_key(fn, attr): by_aggregate[(fn, attr)]
                 for fn, attr in plan.aggregates}
+
+
+class QueryProgram:
+    """One lowered plan as a steppable execution.
+
+    The plan's batchable units execute together (as one
+    :class:`QueryBatch`) in the first step; each subsequent step
+    advances exactly one round of one interactive unit.  The round
+    state lives on the plan's
+    :class:`~repro.core.interactive.InteractiveProgram` objects, so a
+    driver — the client scheduler — can interleave the rounds of many
+    in-flight programs with fused batch ticks.
+
+    Drivers call :meth:`step` until :attr:`done`, then :meth:`result`
+    for the plan's canonical-shape result.  Validation (owner subsets,
+    stray runner options, unknown routes) happens at construction, so a
+    malformed submission fails before any server is touched.
+    """
+
+    def __init__(self, executor: Executor, plan: LogicalPlan,
+                 num_threads: int | None = None,
+                 num_shards: int | str | None = None,
+                 runner_options: dict | None = None):
+        self.executor = executor
+        self.plan = plan
+        self.num_threads = num_threads
+        self.num_shards = num_shards
+        options = dict(runner_options or {})
+        self._entries: list[tuple[PlanUnit, int | None]] = []
+        self._batch_specs: list[BatchQuery] = []
+        self._batch_results: list | None = None
+        self._programs = []
+        for unit, route in executor._unit_routes(plan):
+            if route is BATCHED:
+                self._batch_specs.append(executor._to_batch_query(plan, unit))
+                self._entries.append((unit, len(self._batch_specs) - 1))
+            else:
+                self._programs.append(route(
+                    executor.system, plan, unit, num_threads, num_shards,
+                    options))
+                self._entries.append((unit, None))
+        if options and not self._programs:
+            raise QueryError(
+                f"unsupported options {sorted(options)} — the plan has no "
+                f"interactive units to forward them to"
+            )
+
+    @property
+    def batched_units(self) -> int:
+        return len(self._batch_specs)
+
+    @property
+    def interactive_units(self) -> int:
+        return len(self._programs)
+
+    @property
+    def rounds_completed(self) -> int:
+        """Interactive rounds executed so far, across all units."""
+        return sum(program.rounds_completed for program in self._programs)
+
+    @property
+    def done(self) -> bool:
+        batch_done = self._batch_results is not None or not self._batch_specs
+        return batch_done and all(p.done for p in self._programs)
+
+    def step(self) -> None:
+        """Advance one quantum: the fused batch, or one interactive round."""
+        if self._batch_specs and self._batch_results is None:
+            self._batch_results = QueryBatch(
+                self.executor.system, self._batch_specs,
+                num_threads=self.num_threads,
+                num_shards=self.num_shards).execute()
+            return
+        for program in self._programs:
+            if not program.done:
+                program.step()
+                return
+        raise ProtocolError("query program already finished")
+
+    def result(self):
+        """The plan's canonical-shape result (only once :attr:`done`)."""
+        if not self.done:
+            raise ProtocolError("query program still has rounds to run")
+        unit_results = []
+        interactive = iter(self._programs)
+        for unit, batch_index in self._entries:
+            if batch_index is not None:
+                unit_results.append(self._batch_results[batch_index])
+            else:
+                unit_results.append(next(interactive).result())
+        return self.executor._shape(self.plan, self._entries, unit_results)

@@ -14,6 +14,12 @@ from repro.core.extrema import (
     run_extrema,
     run_median,
 )
+from repro.core.interactive import (
+    BucketizedPsiProgram,
+    ExtremaProgram,
+    InteractiveProgram,
+    MedianProgram,
+)
 from repro.core.params import (
     AnnouncerParams,
     OwnerParams,
@@ -38,8 +44,12 @@ __all__ = [
     "AnnouncerParams",
     "BatchQuery",
     "BucketTree",
+    "BucketizedPsiProgram",
     "CountResult",
+    "ExtremaProgram",
     "ExtremaResult",
+    "InteractiveProgram",
+    "MedianProgram",
     "MedianResult",
     "NUM_SERVERS",
     "OwnerParams",

@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.psi import psi_column_name
-from repro.core.results import PhaseTimings, SetResult
+from repro.core.results import SetResult
 from repro.exceptions import ParameterError
 
 
@@ -114,8 +114,8 @@ def outsource_bucketized(system, attribute, fanout: int) -> BucketTree:
 def run_bucketized_psi(system, attribute, tree: BucketTree,
                        num_threads: int | None = None,
                        querier: int = 0,
-                       announcer_driven: bool = False
-                       ) -> tuple[SetResult, dict]:
+                       announcer_driven: bool = False,
+                       shard_plan=None) -> tuple[SetResult, dict]:
     """Multi-round bucketized PSI (§6.6 Steps 1b–3).
 
     With ``announcer_driven=True`` the per-level outputs go to the
@@ -126,82 +126,23 @@ def run_bucketized_psi(system, attribute, tree: BucketTree,
     learns which bucket *nodes* are common, a documented trade-off.
     Either way the final leaf round is finalised by the owners.
 
+    Each level's sweep runs through the sharded cell-restricted kernel
+    (:meth:`~repro.entities.server.PrismServer.psi_cells_round_batch`),
+    so a deployment's shard plan (or the ``shard_plan`` override)
+    parallelises the traversal; the round loop itself lives in
+    :class:`~repro.core.interactive.BucketizedPsiProgram`, of which this
+    function is a thin driver.
+
     Returns the final :class:`SetResult` (leaf-level intersection) plus a
     stats dict with ``actual_domain_size`` (nodes PSI executed on),
     ``rounds``, and ``numbers_sent`` (per server, one direction — the
     paper's "12 instead of 16" accounting).
     """
-    threads = num_threads if num_threads is not None else system.num_threads
-    transport = system.transport
-    owner = system.owners[querier]
-    timings = PhaseTimings()
-
-    actual_domain_size = 0
-    numbers_sent = 0
-    rounds = 0
-    active = np.arange(tree.level_sizes[tree.top_level], dtype=np.int64)
-
-    for level in range(tree.top_level, -1, -1):
-        if active.size == 0:
-            break
-        column = (psi_column_name(attribute) if level == 0
-                  else level_column(attribute, level))
-        transport.begin_round(f"bucketized-psi-L{level}")
-        rounds += 1
-        actual_domain_size += int(active.size)
-        outputs = []
-        route_to_announcer = announcer_driven and level > 0
-        receivers = ([system.announcer.endpoint] if route_to_announcer
-                     else [o.endpoint for o in system.owners])
-        for server in system.servers[:2]:
-            with timings.measure("fetch"):
-                shares = server.fetch_additive(column)
-                sliced = [s[active] for s in shares]
-            with timings.measure("server"):
-                out = server.psi_round(column, threads, None, sliced)
-            for receiver in receivers:
-                transport.transfer(server.endpoint, receiver,
-                                   f"bucketized-output-L{level}", out)
-            numbers_sent += int(out.size)
-            outputs.append(out)
-        if route_to_announcer:
-            with timings.measure("announcer"):
-                common = system.announcer.find_common_cells(outputs[0],
-                                                            outputs[1])
-                common_nodes = active[np.asarray(common, dtype=np.int64)] \
-                    if common else np.asarray([], dtype=np.int64)
-            fop = None
-        else:
-            with timings.measure("owner"):
-                fop = owner.finalize_psi(outputs[0], outputs[1])
-                common_nodes = active[fop == 1]
-        if level == 0:
-            member = np.zeros(tree.level_sizes[0], dtype=bool)
-            member[common_nodes] = True
-            values = owner.decode_cells(member, attribute)
-            result = SetResult(values=values, membership=member,
-                               timings=timings,
-                               traffic=transport.stats.summary())
-            stats = {
-                "actual_domain_size": actual_domain_size,
-                "numbers_sent": numbers_sent,
-                "rounds": rounds,
-                "flat_domain_size": tree.level_sizes[0],
-            }
-            return result, stats
-        active = tree.children_of(level, common_nodes)
-
-    # No active nodes survived above the leaves: empty intersection.
-    member = np.zeros(tree.level_sizes[0], dtype=bool)
-    result = SetResult(values=[], membership=member, timings=timings,
-                       traffic=transport.stats.summary())
-    stats = {
-        "actual_domain_size": actual_domain_size,
-        "numbers_sent": numbers_sent,
-        "rounds": rounds,
-        "flat_domain_size": tree.level_sizes[0],
-    }
-    return result, stats
+    from repro.core.interactive import BucketizedPsiProgram
+    return BucketizedPsiProgram(system, attribute, tree,
+                                num_threads=num_threads, querier=querier,
+                                announcer_driven=announcer_driven,
+                                shard_plan=shard_plan).run()
 
 
 def simulate_actual_domain_size(num_leaves: int, fanout: int,

@@ -21,85 +21,26 @@ Median (§6.4) replaces FindMax with a sort-and-middle at the announcer and
 runs over each owner's per-group *total* (the paper first sums the cost
 per disease at each owner); for even ``m`` the two middle blinded values
 are returned and the owners average the two inverted values.
+
+Since the round-state redesign the protocol bodies live in
+:mod:`repro.core.interactive` as executor-driven
+:class:`~repro.core.interactive.InteractiveProgram` state machines whose
+round-1 sweep is shard-parallel; :func:`run_extrema` / :func:`run_median`
+are thin drivers over those programs (bit-identical results).
 """
 
 from __future__ import annotations
 
-from repro.core.psi import run_psi
-from repro.core.results import ExtremaResult, MedianResult, PhaseTimings
-from repro.exceptions import ProtocolError, VerificationError
-
-
-def _collect_blinded_shares(system, owners, psi_attribute, agg_attribute,
-                            value, kind, timings):
-    """Steps 3–4 share collection: owner → servers, with traffic recorded.
-
-    Returns per-server dicts ``owner_id -> share`` plus each owner's local
-    value (kept for the 5b round; never transmitted).
-    """
-    transport = system.transport
-    server_shares = [dict(), dict()]
-    local_values = {}
-    for owner in owners:
-        with timings.measure("owner"):
-            if kind == "min":
-                local = owner.local_group_min(psi_attribute, agg_attribute, value)
-            elif kind == "median":
-                local = owner.local_group_sum(psi_attribute, agg_attribute, value)
-            else:
-                local = owner.local_group_max(psi_attribute, agg_attribute, value)
-            if local is None:
-                raise ProtocolError(
-                    f"owner {owner.owner_id} has no tuples for common value "
-                    f"{value!r}; PSI guarantees it should"
-                )
-            blinded = owner.blind_value(int(local))
-            shares = owner.extrema_shares(blinded)
-        local_values[owner.owner_id] = int(local)
-        for phi, server in enumerate(system.servers[:2]):
-            transport.transfer(owner.endpoint, server.endpoint,
-                               "extrema-share", shares[phi])
-            server_shares[phi][owner.owner_id] = shares[phi]
-    return server_shares, local_values
-
-
-def _announce(system, server_shares, kind, timings):
-    """Step 4 at servers + announcer; returns the announcer's share dict."""
-    transport = system.transport
-    permuted = []
-    for phi, server in enumerate(system.servers[:2]):
-        with timings.measure("server"):
-            arr = server.extrema_collect(server_shares[phi])
-        transport.transfer(server.endpoint, system.announcer.endpoint,
-                           "extrema-array", arr)
-        permuted.append(arr)
-    with timings.measure("announcer"):
-        if kind == "min":
-            return system.announcer.announce_min(permuted[0], permuted[1])
-        if kind == "median":
-            return system.announcer.announce_median(permuted[0], permuted[1])
-        return system.announcer.announce_max(permuted[0], permuted[1])
-
-
-def _route_back(system, share_pair):
-    """Announcer → servers → owners share forwarding, with accounting."""
-    transport = system.transport
-    s1, s2 = share_pair
-    for phi, share in ((0, s1), (1, s2)):
-        server = system.servers[phi]
-        transport.transfer(system.announcer.endpoint, server.endpoint,
-                           "announce-share", share)
-        for owner in system.owners:
-            transport.transfer(server.endpoint, owner.endpoint,
-                               "announce-share", server.forward(share))
-    return s1, s2
+from repro.core.interactive import ExtremaProgram, MedianProgram
+from repro.core.results import ExtremaResult, MedianResult
+from repro.exceptions import QueryError
 
 
 def run_extrema(system, attribute: str, agg_attribute: str,
                 kind: str = "max", reveal_holders: bool = True,
                 verify: bool = False,
                 num_threads: int | None = None, querier: int = 0,
-                common_values=None) -> ExtremaResult:
+                common_values=None, shard_plan=None) -> ExtremaResult:
     """Max or min of ``agg_attribute`` per common value of ``attribute``.
 
     Args:
@@ -119,115 +60,44 @@ def run_extrema(system, attribute: str, agg_attribute: str,
         querier: owner used for PSI bookkeeping.
         common_values: skip the PSI round and use these values (lets
             benches isolate round-2 cost).
+        shard_plan: per-call :class:`~repro.core.sharding.ShardPlan`
+            override for the PSI sweep (``None``: the deployment's
+            default plan).
 
     Returns:
         An :class:`ExtremaResult` with the extremum (and holders) per
         common value.
     """
-    if kind not in ("max", "min"):
-        raise ProtocolError(f"unknown extremum kind {kind!r}")
-    transport = system.transport
-    owners = system.owners
-    if common_values is None:
-        round1 = run_psi(system, attribute, num_threads=num_threads,
-                         querier=querier)
-        timings = round1.timings
-        common_values = round1.values
-    else:
-        timings = PhaseTimings()
-
-    per_value = {}
-    holders: dict = {}
-    for value in common_values:
-        transport.begin_round(f"extrema-{kind}")
-        server_shares, local_values = _collect_blinded_shares(
-            system, owners, attribute, agg_attribute, value, kind, timings)
-        announced = _announce(system, server_shares, kind, timings)
-        v1, v2 = _route_back(system, announced["value"])
-        i1, i2 = _route_back(system, announced["index"])
-
-        with timings.measure("owner"):
-            extremum = owners[querier].recover_extremum(v1, v2)
-            first_holder = owners[querier].recover_owner_identity(i1, i2)
-        per_value[value] = extremum
-        holders[value] = [first_holder]
-
-        if verify:
-            transport.begin_round(f"extrema-{kind}-verify")
-            shares2, _ = _collect_blinded_shares(
-                system, owners, attribute, agg_attribute, value, kind,
-                timings)
-            announced2 = _announce(system, shares2, kind, timings)
-            w1, w2 = _route_back(system, announced2["value"])
-            with timings.measure("owner"):
-                recheck = owners[querier].recover_extremum(w1, w2)
-            if recheck != extremum:
-                raise VerificationError(
-                    f"extrema verification failed for {value!r}: "
-                    f"{extremum} vs {recheck} across independent blindings"
-                )
-
-        if reveal_holders:
-            transport.begin_round("extrema-fpos")
-            alpha = [dict(), dict()]
-            for owner in owners:
-                with timings.measure("owner"):
-                    holds = owner.holds_extremum(local_values[owner.owner_id],
-                                                 extremum)
-                    shares = owner.alpha_shares(holds)
-                for phi, server in enumerate(system.servers[:2]):
-                    transport.transfer(owner.endpoint, server.endpoint,
-                                       "alpha-share", shares[phi])
-                    alpha[phi][owner.owner_id] = shares[phi]
-            fpos = []
-            for phi, server in enumerate(system.servers[:2]):
-                with timings.measure("server"):
-                    vec = server.fpos_round(alpha[phi])
-                for owner in owners:
-                    transport.transfer(server.endpoint, owner.endpoint,
-                                       "fpos", vec)
-                fpos.append(vec)
-            with timings.measure("owner"):
-                flags = owners[querier].finalize_fpos(fpos[0], fpos[1])
-            holders[value] = [i for i, f in enumerate(flags) if f == 1]
-
-    return ExtremaResult(per_value=per_value, holders=holders,
-                         timings=timings, traffic=transport.stats.summary())
+    return ExtremaProgram(system, attribute, agg_attribute, kind=kind,
+                          reveal_holders=reveal_holders, verify=verify,
+                          num_threads=num_threads, querier=querier,
+                          common_values=common_values,
+                          shard_plan=shard_plan).run()
 
 
 def run_median(system, attribute: str, agg_attribute: str,
                num_threads: int | None = None, querier: int = 0,
-               common_values=None) -> MedianResult:
-    """Median across owners of per-owner group totals (§6.4)."""
-    transport = system.transport
-    owners = system.owners
-    if common_values is None:
-        round1 = run_psi(system, attribute, num_threads=num_threads,
-                         querier=querier)
-        timings = round1.timings
-        common_values = round1.values
-    else:
-        timings = PhaseTimings()
+               common_values=None, shard_plan=None,
+               verify: bool = False) -> MedianResult:
+    """Median across owners of per-owner group totals (§6.4).
 
-    per_value = {}
-    for value in common_values:
-        transport.begin_round("median")
-        server_shares, _ = _collect_blinded_shares(
-            system, owners, attribute, agg_attribute, value, "median", timings)
-        announced = _announce(system, server_shares, "median", timings)
-        low = _route_back(system, announced["low"])
-        with timings.measure("owner"):
-            low_value = owners[querier].recover_extremum(*low)
-        if announced["high"] is None:
-            per_value[value] = low_value
-        else:
-            high = _route_back(system, announced["high"])
-            with timings.measure("owner"):
-                high_value = owners[querier].recover_extremum(*high)
-            per_value[value] = (low_value + high_value) / 2
+    New parameters are appended, so historical positional callers
+    (``run_median(system, a, x, 4)`` meaning four threads) keep their
+    meaning.
 
-    return MedianResult(per_value=per_value, timings=timings,
-                        traffic=transport.stats.summary())
+    Raises:
+        QueryError: when ``verify=True`` — the median protocol has no
+            verification stream, and this entry point fails with the
+            same typed exception as the plan-IR validation
+            (``"MEDIAN has no verification stream"``), so the shim and
+            API paths are indistinguishable to callers.
+    """
+    if verify:
+        raise QueryError("MEDIAN has no verification stream")
+    return MedianProgram(system, attribute, agg_attribute,
+                         num_threads=num_threads, querier=querier,
+                         common_values=common_values,
+                         shard_plan=shard_plan).run()
 
 
 def extrema_reference(relations, attribute: str, agg_attribute: str,

@@ -139,10 +139,13 @@ def compute_sweep_span(server, family: str, spec: dict, lo: int, hi: int,
 
     Args:
         server: the (unmodified) server whose store backs the sweep.
-        family: ``"psi"`` (Eq. 3 / Eq. 7), ``"psu"`` (Eq. 18), or
-            ``"agg"`` (Eq. 11).
+        family: ``"psi"`` (Eq. 3 / Eq. 7), ``"psi_cells"`` (Eq. 3 over a
+            cell subset — the bucketized per-level sweep, where the span
+            indexes the *cells array*), ``"psu"`` (Eq. 18), or ``"agg"``
+            (Eq. 11).
         spec: the sweep description (columns, per-column owner lists,
-            and per-family extras — ``m_rows``, ``row_map``/``nonces``).
+            and per-family extras — ``m_rows``, ``cells``,
+            ``row_map``/``nonces``).
         z_span: for ``"agg"``, this span of the indicator-share matrix.
 
     Returns:
@@ -161,6 +164,22 @@ def compute_sweep_span(server, family: str, spec: dict, lo: int, hi: int,
             row = acc[q]
             for owner in col_owners:
                 row += store.shard_slice(owner, column, lo, hi)
+        acc -= np.asarray(spec["m_rows"], dtype=np.int64)[:, None]
+        np.mod(acc, delta, out=acc)
+        return table[acc]
+
+    if family == "psi_cells":
+        # Eq. 3 over a cell subset: the kernel is cell-local, so the
+        # span indexes the cells array (not χ) and the gathered cells
+        # compute bit-identically to slicing the full sweep.
+        delta = server.params.delta
+        table = server.params.group.power_table
+        span = np.asarray(spec["cells"][lo:hi], dtype=np.int64)
+        acc = np.zeros((len(columns), hi - lo), dtype=np.int64)
+        for q, (column, col_owners) in enumerate(zip(columns, owners)):
+            row = acc[q]
+            for owner in col_owners:
+                row += store.get(owner, column).values[span]
         acc -= np.asarray(spec["m_rows"], dtype=np.int64)[:, None]
         np.mod(acc, delta, out=acc)
         return table[acc]
@@ -312,8 +331,11 @@ class ShardRuntime:
                 and fingerprint == self._fingerprint
                 and self._scratch is not None
                 and self._scratch.rows >= rows
-                and self._scratch.cols == cols
+                and self._scratch.cols >= cols
                 and self._workers >= workers):
+            # A wider scratch serves narrower sweeps (cell-restricted
+            # bucketized levels vary per round): spans index columns
+            # ``[0, cols)`` of the shared buffers either way.
             return
         self.close()
         capacity = 1
@@ -400,6 +422,26 @@ class ShardRuntime:
             "rows": len(columns),
         }
         return self._dispatch("psi", spec, len(columns), n, num_shards)
+
+    def run_psi_cells(self, server, columns, owners_by_col, m_rows, cells,
+                      num_shards: int):
+        """Sharded cell-restricted Eq. 3 sweep (``psi_cells_round_batch``).
+
+        Shards partition the *cells array*; each worker gathers its span
+        of active cells straight from the copy-on-write store, so the
+        bucketized per-level sweeps parallelise without ever
+        materialising the pruned χ slices in the parent.
+        """
+        spec = {
+            "server": server.index,
+            "columns": list(columns),
+            "owners": [list(owners) for owners in owners_by_col],
+            "m_rows": [int(v) for v in np.ravel(m_rows)],
+            "cells": [int(c) for c in cells],
+            "rows": len(columns),
+        }
+        return self._dispatch("psi_cells", spec, len(columns), len(spec["cells"]),
+                              num_shards)
 
     def run_psu(self, server, uniq_columns, owners_by_col, row_map,
                 query_nonces, n: int, num_shards: int):

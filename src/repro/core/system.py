@@ -260,7 +260,14 @@ class PrismSystem:
                         "server_class": server_class,
                         "kwargs": ctor_kwargs,
                     }))
-                servers.append(RemoteServer(i, params, channel))
+                proxy = RemoteServer(i, params, channel)
+                # Span-scoped sweep dispatch reads the hosted store
+                # directly (like a forked shard worker), so it is only
+                # sound against an unmodified base-class server — which
+                # the system knows statically: no custom factory for
+                # this index means the host runs a plain PrismServer.
+                proxy.span_dispatch = i not in factories
+                servers.append(proxy)
         except BaseException:
             # A later server failing to come up must not leak the
             # channels (and forked children) already opened: the
@@ -595,10 +602,18 @@ class PrismSystem:
             verify=verify, reveal_holders=reveal_holders)
         return self.executor.execute(plan, num_threads=num_threads, **options)
 
-    def psi_median(self, attribute, agg_attribute, **kwargs) -> MedianResult:
-        """Median across owners of per-owner group totals (§6.4)."""
+    def psi_median(self, attribute, agg_attribute, verify: bool = False,
+                   **kwargs) -> MedianResult:
+        """Median across owners of per-owner group totals (§6.4).
+
+        ``verify=True`` raises :class:`~repro.exceptions.QueryError`
+        ("MEDIAN has no verification stream") — the same typed rejection
+        the plan IR and :func:`~repro.core.extrema.run_median` produce,
+        so every path fails alike.
+        """
         plan, num_threads, options = self._lower(
-            "psi", attribute, kwargs, aggregates=(("MEDIAN", agg_attribute),))
+            "psi", attribute, kwargs, aggregates=(("MEDIAN", agg_attribute),),
+            verify=verify)
         return self.executor.execute(plan, num_threads=num_threads, **options)
 
     # -- bucketized PSI -------------------------------------------------------------

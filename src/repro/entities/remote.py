@@ -77,6 +77,18 @@ def _wire_shares(shares):
     return list(shares)
 
 
+#: Minimum active cells *per shard* before a sharded remote sweep is
+#: split into span-scoped frames.  Below this, one whole-sweep RPC
+#: shipping ``num_shards`` is strictly cheaper: the channel admits one
+#: in-flight request, so span frames serialise into ``num_shards``
+#: round-trips while the host can thread-shard a whole sweep itself.
+#: Span frames earn their round-trips only when each span carries real
+#: work (or once a multi-connection dispatcher spreads them over
+#: several hosts).  Tests lower this to exercise the span path end to
+#: end at toy sizes.
+SPAN_DISPATCH_MIN_CELLS = 2048
+
+
 class RemoteServer:
     """Proxy speaking the PrismServer RPC surface over one channel.
 
@@ -101,6 +113,14 @@ class RemoteServer:
         #: Deployment-default shard plan (shard *count* only; the
         #: runtime, if any, lives host-side).
         self.shard_plan = None
+        #: Whether sharded cell-restricted sweeps may be issued as
+        #: span-scoped RPC frames (one request per shard span,
+        #: concatenated client-side).  Only sound against an unmodified
+        #: base-class server — the span path reads the hosted store
+        #: directly and must never bypass a malicious / instrumented
+        #: subclass — so :class:`~repro.core.system.PrismSystem` enables
+        #: it exactly for the servers it built without a custom factory.
+        self.span_dispatch = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RemoteServer(index={self.index}, channel={self.channel!r})"
@@ -173,6 +193,44 @@ class RemoteServer:
             self._owners(owner_ids),
             subtract_m=self._flags(subtract_m),
             num_shards=self._shards(shard_plan))
+
+    def psi_cells_round_batch(self, columns, cells, num_threads: int = 1,
+                              owner_ids=None, subtract_m=None,
+                              shard_plan=None):
+        """Cell-restricted Eq. 3 sweep; only the cell *indices* travel.
+
+        The bucketized per-level rounds call this instead of
+        materialising χ shares client-side.  Under a shard plan against
+        an unmodified host (:attr:`span_dispatch`), the sweep is issued
+        as one span-scoped RPC frame per shard of the cells array and
+        the replies concatenate bit-identically to the whole sweep —
+        the per-round sweep genuinely travels sharded over the wire.
+        Otherwise the shard *count* ships and the host decomposes
+        locally (bit-identical either way).
+        """
+        cells = np.asarray(cells, dtype=np.int64)
+        num_shards = self._shards(shard_plan)
+        if (self.span_dispatch and num_shards is not None
+                and 1 < num_shards <= cells.size
+                and cells.size >= num_shards * SPAN_DISPATCH_MIN_CELLS):
+            from repro.core.sharding import shard_bounds
+            from repro.network.rpc import RpcMessage
+            parts = []
+            for lo, hi in shard_bounds(int(cells.size), num_shards):
+                # Each frame carries only its own slice of the cells
+                # array (span over the slice), so a cell index travels
+                # and is validated exactly once across the shard frames.
+                payload = {"a": [list(columns), cells[lo:hi], num_threads,
+                                 self._owners(owner_ids)],
+                           "k": {"subtract_m": self._flags(subtract_m)}}
+                parts.append(self.channel.send(RpcMessage(
+                    "psi_cells_round_batch", payload,
+                    span=(0, hi - lo))).payload)
+            return np.concatenate(parts, axis=1)
+        return self.channel.call(
+            "psi_cells_round_batch", list(columns), cells, num_threads,
+            self._owners(owner_ids), subtract_m=self._flags(subtract_m),
+            num_shards=num_shards)
 
     def count_round_batch(self, columns, num_threads: int = 1, owner_ids=None,
                           subtract_m=None, use_pf_s2=None, shard_plan=None):

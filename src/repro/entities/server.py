@@ -462,6 +462,89 @@ class PrismServer:
         self._run_chunked(kernel, n, self._sweep_chunks(num_threads, plan))
         return out
 
+    def psi_cells_round_batch(self, columns, cells, num_threads: int = 1,
+                              owner_ids: list[int] | None = None,
+                              subtract_m=None, shard_plan=None) -> np.ndarray:
+        """Fused Eq. 3 / Eq. 7 sweep restricted to a subset of χ cells.
+
+        Row ``q`` of the returned ``(Q, len(cells))`` matrix equals
+        ``psi_round_batch(columns)[q][cells]`` — the kernel is
+        cell-local, so restricting the sweep to the named cells is
+        bit-identical to slicing the full sweep (and to the historical
+        slice-then-``psi_round`` path the bucketized runner used).  This
+        is the per-level sweep of bucketized PSI (§6.6): only the active
+        bucket nodes are computed, which is the whole point of the
+        bucket tree.
+
+        ``cells`` is a 1-D array of χ cell indices, in output order.
+        ``shard_plan`` decomposes the *cells array* into contiguous
+        shards and runs them on the deployment's worker pool, with the
+        same fallback ladder as :meth:`psi_round_batch`; subclasses that
+        override the 1-D kernels fall back to the per-row slice-and-sweep
+        path, so malicious / instrumented servers keep misbehaving on
+        exactly the active cells.
+        """
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.ndim != 1:
+            raise ProtocolError(
+                f"cell index array must be 1-D, got shape {cells.shape}")
+        if not len(columns):
+            raise ProtocolError("cell-restricted sweep needs at least one "
+                                "column")
+        if subtract_m is None:
+            subtract_m = [True] * len(columns)
+        if len(subtract_m) != len(columns):
+            raise ProtocolError("subtract_m flags must match the column count")
+        def check_cells(b: int) -> None:
+            if cells.size and (int(cells.min()) < 0 or int(cells.max()) >= b):
+                raise ProtocolError(
+                    f"cell indices out of range for χ length {b}")
+
+        if self._kernel_overridden("psi_round", "verification_round"):
+            rows = []
+            for column, subtract in zip(columns, subtract_m):
+                full = self.fetch_additive(column, owner_ids)
+                check_cells(full[0].shape[0])
+                shares = [s[cells] for s in full]
+                rows.append(
+                    self.psi_round(column, num_threads, owner_ids, shares)
+                    if subtract else
+                    self.verification_round(column, num_threads, owner_ids,
+                                            shares))
+            return np.stack(rows)
+        share_lists = [self.fetch_additive(c, owner_ids) for c in columns]
+        num_owners, b = self._check_uniform(columns, share_lists)
+        check_cells(b)
+        n = cells.shape[0]
+        if n == 0:
+            return np.empty((len(columns), 0), dtype=np.int64)
+        delta = self.params.delta
+        table = self.params.group.power_table
+        m_rows = self._batch_m_shares(subtract_m, num_owners, owner_ids)
+        plan = self._active_shard_plan(shard_plan)
+        if self._process_plan(plan) is not None:
+            out = plan.runtime.run_psi_cells(
+                self, columns, self._owners_by_column(columns, owner_ids),
+                m_rows, cells, plan.num_shards)
+            if out is not None:
+                return out
+        acc = np.zeros((len(columns), n), dtype=np.int64)
+        out = np.empty_like(acc)
+
+        def kernel(lo: int, hi: int) -> None:
+            span = cells[lo:hi]
+            local = acc[:, lo:hi]
+            for q, row_shares in enumerate(share_lists):
+                row = local[q]
+                for s in row_shares:
+                    row += s[span]
+            local -= m_rows
+            np.mod(local, delta, out=local)
+            out[:, lo:hi] = table[local]
+
+        self._run_chunked(kernel, n, self._sweep_chunks(num_threads, plan))
+        return out
+
     def count_round_batch(self, columns, num_threads: int = 1,
                           owner_ids: list[int] | None = None,
                           subtract_m=None, use_pf_s2=None,

@@ -64,6 +64,7 @@ SERVER_METHODS = frozenset({
     "count_verification_round",
     "aggregate_round",
     "psi_round_batch",
+    "psi_cells_round_batch",
     "count_round_batch",
     "psu_round_batch",
     "aggregate_round_batch",
@@ -75,9 +76,12 @@ SERVER_METHODS = frozenset({
 
 #: Kernels that accept a per-call shard plan (shipped as ``num_shards``).
 _SHARDED_KERNELS = frozenset({
-    "psi_round_batch", "count_round_batch", "psu_round_batch",
-    "aggregate_round_batch",
+    "psi_round_batch", "psi_cells_round_batch", "count_round_batch",
+    "psu_round_batch", "aggregate_round_batch",
 })
+
+#: Kernels servable span-scoped (the frame envelope names the span).
+_SPAN_KERNELS = frozenset({"psi_round_batch", "psi_cells_round_batch"})
 
 
 class ServerAdapter:
@@ -132,15 +136,19 @@ class ServerAdapter:
         return plan.runtime if plan is not None else None
 
     def _span_request(self, kind, args, kwargs, span):
-        """One contiguous χ span of a fused sweep (see module docstring).
+        """One contiguous span of a fused sweep (see module docstring).
 
-        Supported for the Eq. 3 / Eq. 7 family; the span kernel reads
-        the store directly (exactly like a forked shard worker), so it
-        refuses servers whose kernels are overridden — a malicious or
+        Supported for the Eq. 3 / Eq. 7 family — whole-χ
+        (``psi_round_batch``, span over the χ length) and
+        cell-restricted (``psi_cells_round_batch``, span over the cells
+        array; the bucketized per-level rounds of a sharded remote
+        deployment arrive this way).  The span kernel reads the store
+        directly (exactly like a forked shard worker), so it refuses
+        servers whose kernels are overridden — a malicious or
         instrumented subclass must keep misbehaving per call, never be
         silently bypassed by span dispatch.
         """
-        if kind != "psi_round_batch":
+        if kind not in _SPAN_KERNELS:
             raise ProtocolError(
                 f"span-scoped execution is not supported for {kind!r}; "
                 f"send a whole-sweep request with num_shards instead"
@@ -153,12 +161,22 @@ class ServerAdapter:
                 "span-scoped execution requires an unmodified server"
             )
         columns = list(args[0]) if args else list(kwargs.get("columns", ()))
+        cells = None
+        if kind == "psi_cells_round_batch":
+            # (columns, cells, num_threads, owner_ids) positionally.
+            cells = args[1] if len(args) > 1 else kwargs.get("cells")
+            if cells is None:
+                raise ProtocolError("malformed span request: no cells")
+            cells = [int(c) for c in cells]
+            owner_slot, flag_slot = 3, 4
+        else:
+            owner_slot, flag_slot = 2, 3
         owner_ids = kwargs.get("owner_ids")
-        if owner_ids is None and len(args) > 2:
-            owner_ids = args[2]
+        if owner_ids is None and len(args) > owner_slot:
+            owner_ids = args[owner_slot]
         subtract_m = kwargs.get("subtract_m")
-        if subtract_m is None and len(args) > 3:
-            subtract_m = args[3]
+        if subtract_m is None and len(args) > flag_slot:
+            subtract_m = args[flag_slot]
         if subtract_m is None:
             subtract_m = [True] * len(columns)
         if not columns or len(subtract_m) != len(columns):
@@ -166,10 +184,23 @@ class ServerAdapter:
         owners = [list(owner_ids) if owner_ids is not None
                   else server.store.owners_with(column)
                   for column in columns]
-        n = server.store.get(owners[0][0], columns[0]).values.shape[0]
+        # Mirror the kernels' _check_uniform: a fused span sums a fixed
+        # set of share vectors per row, so mixed owner sets or lengths
+        # must fail loudly — never corrupt a concatenating dispatcher.
+        counts = {len(col_owners) for col_owners in owners}
+        if len(counts) != 1:
+            raise ProtocolError(
+                "span request needs a uniform owner set across columns")
+        lengths = {server.store.get(col_owners[0], column).values.shape[0]
+                   for column, col_owners in zip(columns, owners)}
+        if len(lengths) != 1:
+            raise ProtocolError(
+                "span request needs equal-length columns")
+        b = lengths.pop()
+        n = b if cells is None else len(cells)
         lo, hi = span
         if hi > n:
-            raise ProtocolError(f"span ({lo}, {hi}) exceeds χ length {n}")
+            raise ProtocolError(f"span ({lo}, {hi}) exceeds sweep length {n}")
         m_rows = server._batch_m_shares(list(subtract_m), len(owners[0]),
                                         owner_ids)
         spec = {
@@ -178,7 +209,12 @@ class ServerAdapter:
             "m_rows": [int(v) for v in m_rows.ravel()],
             "rows": len(columns),
         }
-        return compute_sweep_span(server, "psi", spec, lo, hi)
+        if cells is None:
+            return compute_sweep_span(server, "psi", spec, lo, hi)
+        if cells and not all(0 <= c < b for c in cells):
+            raise ProtocolError(f"cell indices out of range for χ length {b}")
+        spec["cells"] = cells
+        return compute_sweep_span(server, "psi_cells", spec, lo, hi)
 
 
 def adapter_for(entity) -> ServerAdapter:

@@ -226,12 +226,20 @@ class TestSubprocessDeployment:
             assert values == [expected_table4["psi_values"]] * 4
             assert client.stats["scheduler"]["max_coalesced"] == 4
 
-    def test_bucketized_psi_materialises_lazy_shares(self, expected_table4):
+    def test_bucketized_psi_keeps_shares_server_side(self, expected_table4):
+        # The per-level rounds ship active cell *indices* through
+        # psi_cells_round_batch; the χ shares never cross the channel.
         with build("subprocess") as system:
             system.outsource_bucketized("k", fanout=2)
+            received_before = system.channel_stats()["bytes_received"]
             result, stats = system.bucketized_psi("k")
+            received = system.channel_stats()["bytes_received"] \
+                - received_before
             assert sorted(result.values) == expected_table4["psi_values"]
             assert stats["rounds"] >= 2
+            # Replies carry only the active-cell outputs (plus framing),
+            # far below even one owner's full χ share vector per round.
+            assert received < stats["numbers_sent"] * 8 * 4 + 4096
 
     def test_malicious_factory_callable_travels_by_fork(self):
         factories = {1: lambda i, p: SkipCellsServer(i, p)}
@@ -382,6 +390,22 @@ class TestServerAdapter:
         assert reply.kind == "__error__"
         reply = adapter.dispatch(RpcMessage("store", {}))
         assert reply.kind == "__error__"
+        system.close()
+
+    def test_span_rejects_non_uniform_owner_sets(self):
+        # A fused span sums a fixed share set per row; a column held by
+        # fewer owners must fail loudly, not sweep with the wrong A(m).
+        from repro.data.storage import ShareKind
+        system = build("local")
+        server = system.servers[0]
+        server.store.put(0, "solo",
+                         np.zeros(system.domain.size, dtype=np.int64),
+                         ShareKind.ADDITIVE)
+        adapter = ServerAdapter(server)
+        reply = adapter.dispatch(RpcMessage(
+            "psi_round_batch", {"a": [["k", "solo"]], "k": {}}, span=(0, 4)))
+        assert reply.kind == "__error__"
+        assert "uniform" in reply.payload["message"]
         system.close()
 
     def test_span_on_unsupported_kernel_rejected(self):

@@ -12,6 +12,8 @@ from repro.exceptions import (
     VerificationError,
 )
 
+MEDIAN_VERIFY_MESSAGE = "MEDIAN has no verification stream"
+
 
 class TestHierarchy:
     @pytest.mark.parametrize("exc", [
@@ -46,3 +48,51 @@ class TestVerificationErrorPayload:
         err = VerificationError("bad", failed_cells=(1, 2))
         assert err.failed_cells == [1, 2]
         assert isinstance(err.failed_cells, list)
+
+
+class TestMedianVerifyRejection:
+    """Every path rejects verified MEDIAN with one typed exception.
+
+    The shim (``PrismSystem.psi_median``), the direct runner
+    (``run_median``), the program, and the plan IR must all raise
+    :class:`QueryError` with the same message — historically the shim
+    path leaked a ``TypeError`` instead.
+    """
+
+    @staticmethod
+    def _system():
+        from repro import Domain, PrismSystem, Relation
+        relations = [Relation("a", {"k": [1, 2], "v": [3, 4]}),
+                     Relation("b", {"k": [1, 2], "v": [5, 6]})]
+        return PrismSystem.build(relations, Domain.integer_range("k", 4),
+                                 "k", agg_attributes=("v",), seed=1)
+
+    def test_plan_ir_rejects(self):
+        from repro.api.plan import LogicalPlan
+        with pytest.raises(QueryError, match=MEDIAN_VERIFY_MESSAGE):
+            LogicalPlan(set_op="psi", attribute="k",
+                        aggregates=(("MEDIAN", "v"),), verify=True)
+
+    def test_run_median_rejects(self):
+        from repro.core.extrema import run_median
+        system = self._system()
+        with pytest.raises(QueryError, match=MEDIAN_VERIFY_MESSAGE):
+            run_median(system, "k", "v", verify=True)
+
+    def test_median_program_rejects(self):
+        from repro.core.interactive import MedianProgram
+        system = self._system()
+        with pytest.raises(QueryError, match=MEDIAN_VERIFY_MESSAGE):
+            MedianProgram(system, "k", "v", verify=True)
+
+    def test_system_shim_rejects(self):
+        system = self._system()
+        with pytest.raises(QueryError, match=MEDIAN_VERIFY_MESSAGE):
+            system.psi_median("k", "v", verify=True)
+
+    def test_builder_path_rejects(self):
+        from repro import Q
+        system = self._system()
+        with system.client() as client:
+            with pytest.raises(QueryError, match=MEDIAN_VERIFY_MESSAGE):
+                client.execute(Q.psi("k").median("v").verify())

@@ -9,11 +9,13 @@ query poisons only its own future.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
 from repro import Domain, PrismSystem, Q, Relation
-from repro.exceptions import VerificationError
+from repro.core.interactive import ExtremaProgram
+from repro.exceptions import QueryError, VerificationError
 
 
 def build_hospitals(**kwargs):
@@ -183,6 +185,125 @@ def test_session_accounting_covers_submissions():
     assert stats["by_kind"] == {"psi": 1, "psu": 1}
     assert stats["batched_units"] == 2
     assert stats["traffic"]["messages"] > 0
+
+
+def build_many_common_values(num_values=6):
+    """A deployment whose extrema queries run many per-value rounds."""
+    keys = list(range(1, num_values + 1))
+    relations = [
+        Relation("a", {"k": keys, "v": [10 * k for k in keys]}),
+        Relation("b", {"k": keys, "v": [10 * k + 1 for k in keys]}),
+    ]
+    return PrismSystem.build(relations, Domain.integer_range("k", 8), "k",
+                             agg_attributes=("v",), with_verification=True,
+                             seed=5)
+
+
+class TestInteractiveScheduling:
+    """Interactive submissions coexist with coalesced batch traffic."""
+
+    def test_interactive_and_batchable_share_one_hold(self):
+        system = build_hospitals()
+        with system.client() as client:
+            with client.hold():
+                f_max = client.submit(Q.psi("disease").max("age"))
+                f_psi = client.submit(Q.psi("disease"))
+                f_psu = client.submit(Q.psu("disease"))
+            assert f_max.result(timeout=60).per_value == {"Cancer": 8}
+            assert f_psi.result(timeout=60).values == ["Cancer"]
+            assert sorted(f_psu.result(timeout=60).values) == \
+                ["Cancer", "Fever", "Heart"]
+            stats = client.stats
+        # The batchable pair still coalesced into one fused batch while
+        # the interactive query rode the job lane of the same tick.
+        assert stats["scheduler"]["max_coalesced"] == 2
+        assert stats["scheduler"]["interactive_jobs"] == 1
+        assert stats["interactive_units"] == 1
+        assert stats["batched_units"] == 2
+        assert stats["queries"] == 3
+
+    def test_drain_tick_not_blocked_across_rounds(self, monkeypatch):
+        """Batchable queries drain *between* an interactive query's
+        rounds: a query submitted mid-flight resolves before the
+        in-flight interactive query runs out of rounds."""
+        order = []
+        original_step = ExtremaProgram.step
+
+        def recording_step(self):
+            original_step(self)
+            order.append("round")
+            # Slow each round enough for the submitting thread to land a
+            # batchable query while rounds remain; the drain happens
+            # *between* rounds, never inside one.
+            time.sleep(0.02)
+
+        monkeypatch.setattr(ExtremaProgram, "step", recording_step)
+        system = build_many_common_values(num_values=6)
+        with system.client() as client:
+            f_max = client.submit(Q.psi("k").max("v"))
+            deadline = time.monotonic() + 30
+            while not order:  # the job has started stepping rounds
+                assert time.monotonic() < deadline
+                time.sleep(0.001)
+            f_psi = client.submit(Q.psi("k"))
+            f_psi.add_done_callback(lambda f: order.append("batch"))
+            assert sorted(f_psi.result(timeout=60).values) == \
+                list(range(1, 7))
+            assert len(f_max.result(timeout=60).per_value) == 6
+        # 6 value rounds follow the PSI round, so the batch had to land
+        # strictly before the interactive query's final round — the
+        # drain tick was not blocked across rounds.
+        assert "batch" in order
+        assert order.index("batch") < len(order) - 1
+        assert client.stats["scheduler"]["interactive_rounds"] >= 7
+
+    def test_interactive_error_isolated_to_its_future(self):
+        system = build_hospitals()
+        with system.client() as client:
+            with client.hold():
+                good = client.submit(Q.psi("disease"))
+                # PSU has no extrema protocol: no dispatch route.
+                bad = client.submit(Q.psu("disease").max("age"))
+            assert good.result(timeout=60).values == ["Cancer"]
+            with pytest.raises(QueryError):
+                bad.result(timeout=60)
+
+    def test_failing_interactive_round_poisons_only_its_future(self):
+        # Costs (up to 1000) exceed the declared value bound, so the
+        # extrema blinding round fails loudly mid-protocol — while the
+        # batchable tick-mate keeps succeeding.
+        from repro.exceptions import ProtocolError
+        system = build_hospitals(value_bound=50)
+        with system.client() as client:
+            with client.hold():
+                good = client.submit(Q.psu("disease"))
+                bad = client.submit(Q.psi("disease").max("cost"))
+            assert sorted(good.result(timeout=60).values) == \
+                ["Cancer", "Fever", "Heart"]
+            with pytest.raises(ProtocolError):
+                bad.result(timeout=60)
+
+    def test_interactive_session_accounting(self):
+        system = build_hospitals()
+        with system.client() as client:
+            future = client.submit(Q.psi("disease").median("cost"))
+            assert future.result(timeout=60).per_value == {"Cancer": 300}
+            stats = client.stats
+        assert stats["queries"] == 1
+        assert stats["by_kind"] == {"psi_median": 1}
+        assert stats["interactive_units"] == 1
+        assert stats["traffic"]["messages"] > 0
+        assert stats["scheduler"]["interactive_jobs"] == 1
+
+    def test_close_drains_interactive_jobs(self):
+        system = build_hospitals()
+        client = system.client()
+        with client.hold():
+            future = client.submit(Q.psi("disease").min("age"))
+            client.close()  # close overrides the hold and drains the job
+        assert future.result(timeout=60).per_value == {"Cancer": 4}
+        with pytest.raises(RuntimeError):
+            client.submit(Q.psi("disease"))
 
 
 def test_submit_on_sharded_deployment():
