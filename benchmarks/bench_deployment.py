@@ -36,7 +36,7 @@ import sys
 import time
 
 from repro.bench.harness import build_system
-from repro.network.host import launch_forked_hosts
+from repro.network.host import launch_forked_pools, pools_spec
 from repro.core.sharding import processes_available
 
 
@@ -87,6 +87,12 @@ def bench_mode(mode: str, spec: str, args) -> dict:
         "rpc_requests": (wire_after["requests"] - wire_before["requests"])
         // args.repeats,
     }
+    fan = [channel.stats.get("fan_out", 1) for channel in system._channels]
+    if any(f > 1 for f in fan):
+        report["hosts_per_role"] = fan
+        report["scattered_frames"] = sum(
+            channel.stats.get("scattered_frames", 0)
+            for channel in system._channels)
     system.close()
     return report
 
@@ -100,6 +106,9 @@ def main(argv=None) -> int:
                         help="workload size: N of each batchable kind")
     parser.add_argument("--modes", default="local,subprocess,tcp",
                         help="comma-separated deployment modes")
+    parser.add_argument("--hosts", default="1,2,3",
+                        help="tcp hosts axis: comma-separated pool sizes "
+                             "(replica hosts per server role)")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", default="BENCH_deployment.json")
     args = parser.parse_args(argv)
@@ -111,27 +120,40 @@ def main(argv=None) -> int:
     print(f"deployment throughput at b={args.domain}, {args.owners} owners, "
           f"{len(workload(args.queries_per_kind))} queries/pass "
           f"(best of {args.repeats})")
+    pool_sizes = [int(h) for h in args.hosts.split(",") if h.strip()]
     reports: dict[str, dict] = {}
-    host_processes = []
-    try:
-        for mode in modes:
+    for mode in modes:
+        # The tcp mode sweeps the hosts axis: each entry launches one
+        # pool of that many replica entity hosts per server role and
+        # fans the fused sweep spans out across the pool.
+        runs = ([(mode if h == 1 else f"tcp-{h}hosts", h)
+                 for h in pool_sizes] if mode == "tcp" else [(mode, 0)])
+        for label, hosts in runs:
+            host_processes = []
             spec = mode
-            if mode == "tcp":
-                spec, host_processes = launch_forked_hosts(3)
-            reports[mode] = bench_mode(mode, spec, args)
-            r = reports[mode]
-            print(f"  {mode:10s} {r['queries_per_sec']:10.1f} q/s  "
+            try:
+                if hosts:
+                    pools, host_processes = launch_forked_pools([hosts] * 3)
+                    spec = pools_spec(pools)
+                reports[label] = bench_mode(label, spec, args)
+            finally:
+                for process in host_processes:
+                    process.terminate()
+            r = reports[label]
+            print(f"  {label:10s} {r['queries_per_sec']:10.1f} q/s  "
                   f"{r['rows_per_sec']:14.0f} rows/s  "
                   f"{r['wire_bytes']['sent'] + r['wire_bytes']['received']:>12d} "
                   f"wire B/pass")
-    finally:
-        for process in host_processes:
-            process.terminate()
 
     if "local" in reports:
         base = reports["local"]["rows_per_sec"]
         for mode, report in reports.items():
             report["relative_to_local"] = report["rows_per_sec"] / base
+    if "tcp" in reports:
+        base = reports["tcp"]["rows_per_sec"]
+        for mode, report in reports.items():
+            if "hosts_per_role" in report:
+                report["speedup_vs_one_host"] = report["rows_per_sec"] / base
 
     out = {
         "b": args.domain,

@@ -156,8 +156,11 @@ class PrismClient:
             PrismClient.connect("tcp://h:p,h:p,h:p",
                                 relations, domain, psi_attribute, ...)
 
-        A leading deployment spec (``"local"``, ``"subprocess"``, or
-        ``"tcp://host:port,host:port,host:port"``) declares where the
+        A leading deployment spec (``"local"``, ``"subprocess"``,
+        ``"tcp://host:port,host:port,host:port"``, a pooled
+        ``"tcp://h:p,h:p/h:p/h:p,h:p,h:p"`` giving each server role a
+        ``/``-separated replica pool, or a parsed
+        :class:`~repro.network.rpc.Deployment`) declares where the
         server entities run; the identical SQL / builder / batch query
         surface then executes against them — in-process (the default,
         and what historical direct ``PrismSystem`` construction maps
@@ -166,9 +169,11 @@ class PrismClient:
         keyword too.
         """
         from repro.core.system import PrismSystem
-        if args and isinstance(args[0], str) and (
-                args[0] in ("local", "subprocess")
-                or args[0].startswith("tcp://")):
+        from repro.network.rpc import Deployment
+        if args and (isinstance(args[0], Deployment)
+                     or (isinstance(args[0], str) and (
+                         args[0] in ("local", "subprocess")
+                         or args[0].startswith("tcp://")))):
             if deployment is not None:
                 raise QueryError(
                     "deployment given both positionally and as a keyword")

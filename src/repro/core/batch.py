@@ -407,6 +407,30 @@ class QueryBatch:
     def _owner_list(group):
         return list(group) if group is not None else None
 
+    def _sweep_servers(self, servers, thunks):
+        """Run one sweep thunk per server; overlap them when remote.
+
+        Against a non-local deployment every thunk is pure wire I/O —
+        the hosts compute concurrently while this process waits — so
+        the per-server requests are issued together through
+        :func:`repro.network.dispatch.overlap` and the in-flight RPCs
+        to the three roles genuinely overlap (each role's host pool
+        additionally fans its spans out internally).  In-process
+        servers share this interpreter, so they keep the sequential
+        order (bit-identical either way: the sweeps are independent).
+        Returns the outputs in server order.
+        """
+        if len(thunks) > 1 and all(getattr(server, "is_remote", False)
+                                   for server in servers):
+            from repro.network.dispatch import overlap
+            with self.timings.measure("server"):
+                return overlap(thunks)
+        outs = []
+        for thunk in thunks:
+            with self.timings.measure("server"):
+                outs.append(thunk())
+        return outs
+
     def _run_indicator_sweeps(self) -> dict:
         """One fused sweep per family per owner group, on both servers.
 
@@ -427,22 +451,28 @@ class QueryBatch:
                 columns = [c for c, *_ in ordered]
                 subtract = [flags[0] for _, *flags in ordered]
                 owner_ids = self._owner_list(group)
-                for s_index, server in enumerate(system.servers[:2]):
-                    with self.timings.measure("server"):
-                        if family == "psi":
-                            out = server.psi_round_batch(
-                                columns, self.num_threads, owner_ids,
-                                subtract_m=subtract,
-                                shard_plan=self.shard_plan)
-                        else:
-                            pf2 = [flags[1] for _, *flags in ordered]
-                            out = server.count_round_batch(
-                                columns, self.num_threads, owner_ids,
-                                subtract_m=subtract, use_pf_s2=pf2,
-                                shard_plan=self.shard_plan)
+                servers = system.servers[:2]
+                if family == "psi":
+                    thunks = [
+                        lambda server=server: server.psi_round_batch(
+                            columns, self.num_threads, owner_ids,
+                            subtract_m=subtract, shard_plan=self.shard_plan)
+                        for server in servers
+                    ]
+                else:
+                    pf2 = [flags[1] for _, *flags in ordered]
+                    thunks = [
+                        lambda server=server: server.count_round_batch(
+                            columns, self.num_threads, owner_ids,
+                            subtract_m=subtract, use_pf_s2=pf2,
+                            shard_plan=self.shard_plan)
+                        for server in servers
+                    ]
+                for s_index, out in enumerate(
+                        self._sweep_servers(servers, thunks)):
                     sweeps += 1
                     transport.broadcast(
-                        server.endpoint, receivers,
+                        servers[s_index].endpoint, receivers,
                         batch_kind(f"{family}-output", len(columns)), out)
                     outputs[(family, group, s_index)] = out
         for group, rows in self._psu_rows.items():
@@ -453,13 +483,17 @@ class QueryBatch:
             nonces = self._psu_nonces[group]
             permute = [p for _, p in rows]
             owner_ids = self._owner_list(group)
-            for s_index, server in enumerate(system.servers[:2]):
-                with self.timings.measure("server"):
-                    out = server.psu_round_batch(
-                        columns, nonces, self.num_threads, owner_ids,
-                        permute=permute, shard_plan=self.shard_plan)
+            servers = system.servers[:2]
+            thunks = [
+                lambda server=server: server.psu_round_batch(
+                    columns, nonces, self.num_threads, owner_ids,
+                    permute=permute, shard_plan=self.shard_plan)
+                for server in servers
+            ]
+            for s_index, out in enumerate(
+                    self._sweep_servers(servers, thunks)):
                 sweeps += 1
-                transport.broadcast(server.endpoint, receivers,
+                transport.broadcast(servers[s_index].endpoint, receivers,
                                     batch_kind("psu-output", len(columns)),
                                     out)
                 outputs[("psu", group, s_index)] = out
@@ -605,19 +639,24 @@ class QueryBatch:
             owner = system.owners[querier]
             owner_ids = self._owner_list(group)
             columns = [row.column for row in rows]
-            outs = []
-            for s_index, server in enumerate(system.servers[:3]):
+            servers = system.servers[:3]
+            z_matrices = []
+            for s_index, server in enumerate(servers):
                 z_matrix = np.stack([row.z_shares[s_index] for row in rows])
                 transport.transfer(owner.endpoint, server.endpoint,
                                    batch_kind("z-shares", len(rows)), z_matrix)
-                with self.timings.measure("server"):
-                    out = server.aggregate_round_batch(
-                        columns, z_matrix, self.num_threads, owner_ids,
-                        shard_plan=self.shard_plan)
+                z_matrices.append(z_matrix)
+            thunks = [
+                lambda server=server, z=z: server.aggregate_round_batch(
+                    columns, z, self.num_threads, owner_ids,
+                    shard_plan=self.shard_plan)
+                for server, z in zip(servers, z_matrices)
+            ]
+            outs = self._sweep_servers(servers, thunks)
+            for s_index, out in enumerate(outs):
                 sweeps += 1
-                transport.broadcast(server.endpoint, receivers,
+                transport.broadcast(servers[s_index].endpoint, receivers,
                                     batch_kind("agg-output", len(rows)), out)
-                outs.append(out)
             with self.timings.measure("owner"):
                 totals_by_row = [
                     owner.finalize_aggregate(

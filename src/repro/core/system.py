@@ -136,10 +136,17 @@ class PrismSystem:
             worker, frames over a pipe), or
             ``"tcp://host:port,host:port,host:port"`` (standalone
             ``repro-entity-host`` processes, length-prefixed codec
-            frames over TCP).  Owners, initiator, and announcer stay in
-            this process; non-local deployments expose each server
-            through a :class:`~repro.entities.remote.RemoteServer`
-            proxy, and results are bit-identical across all three modes.
+            frames over TCP).  Each tcp server role also accepts a
+            *pool* of replica hosts —
+            ``"tcp://h:p,h:p/h:p/h:p,h:p,h:p"`` separates the three
+            roles with ``/`` and pool members with ``,`` — over which
+            fused sweep spans fan out concurrently
+            (:class:`~repro.network.dispatch.PooledChannel`).  A parsed
+            :class:`~repro.network.rpc.Deployment` works too.  Owners,
+            initiator, and announcer stay in this process; non-local
+            deployments expose each server through a
+            :class:`~repro.entities.remote.RemoteServer` proxy, and
+            results are bit-identical across all modes and pool sizes.
         delta: override the additive-group prime.
         alpha: the ``eta' = alpha * eta`` multiplier.
         field_prime: Shamir field prime.
@@ -153,6 +160,14 @@ class PrismSystem:
             the announcer learning which bucket nodes are common.
         serialize_transport: round-trip every message through the binary
             wire codec (conformance mode; slower, byte-exact accounting).
+        rpc_timeout: per-request timeout in seconds for tcp channels
+            (``None``: wait forever).  A host that hangs past the
+            deadline fails the request with a typed error instead of
+            deadlocking the query —
+            :class:`~repro.exceptions.QueryError` naming the member
+            from a host pool,
+            :class:`~repro.network.dispatch.ConnectionLost` (a
+            :class:`~repro.exceptions.ProtocolError`) single-host.
     """
 
     def __init__(self, relations: list[Relation], domain: Domain | ProductDomain,
@@ -164,12 +179,14 @@ class PrismSystem:
                  server_factories: dict | None = None,
                  announcer_knows_eta: bool = False,
                  serialize_transport: bool = False,
-                 deployment: str = "local"):
+                 deployment: str = "local",
+                 rpc_timeout: float | None = None):
         from repro.network.rpc import Deployment
         if len(relations) < 2:
             raise ParameterError("Prism needs at least two owners")
         self.domain = domain
         self.num_threads = num_threads
+        self.rpc_timeout = rpc_timeout
         self.deployment = Deployment.parse(deployment,
                                            num_servers=NUM_SERVERS)
         self.initiator = Initiator(len(relations), domain, seed=seed,
@@ -228,10 +245,10 @@ class PrismSystem:
     def _connect_servers(self, factories: dict) -> list:
         """Build the server proxies of a non-local deployment."""
         from repro.entities.remote import RemoteServer
+        from repro.network.dispatch import PooledChannel, SocketChannel
         from repro.network.rpc import (
             CONSTRUCT,
             RpcMessage,
-            SocketChannel,
             SubprocessChannel,
             server_params_to_wire,
         )
@@ -250,8 +267,16 @@ class PrismSystem:
                     self._channels.append(channel)
                 else:
                     server_class, ctor_kwargs = _server_spec(factory)
-                    host, port = self.deployment.addresses[i]
-                    channel = SocketChannel.connect(host, port)
+                    pool = self.deployment.pools[i]
+                    if len(pool) > 1:
+                        # Every pool member hosts a full replica of this
+                        # server role; the CONSTRUCT below broadcasts.
+                        channel = PooledChannel.connect(
+                            pool, request_timeout=self.rpc_timeout)
+                    else:
+                        host, port = pool[0]
+                        channel = SocketChannel.connect(
+                            host, port, request_timeout=self.rpc_timeout)
                     self._channels.append(channel)
                     channel.send(RpcMessage(CONSTRUCT, {
                         "entity": "server",

@@ -33,6 +33,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.params import ServerParams
+from repro.exceptions import ProtocolError
 from repro.network.message import Endpoint, Role
 
 
@@ -184,15 +185,73 @@ class RemoteServer:
                                  num_threads, self._owners(owner_ids),
                                  shares=_wire_shares(shares))
 
+    # -- span fan-out ---------------------------------------------------------
+
+    def _span_bounds(self, length: int, num_shards, pool_only: bool):
+        """Span decomposition for a length-``length`` sweep, or ``None``.
+
+        ``None`` means "send one whole-sweep request" (shipping the
+        shard *count* for the host to decompose locally).  A span
+        decomposition is only worth its frames when the channel can
+        serve them concurrently — always when it fans out over a host
+        pool, and (for the cell-restricted bucketized sweeps,
+        ``pool_only=False``) when an explicit shard plan asks for
+        span-scoped wire traffic on a single host.  Every span must
+        clear the :data:`SPAN_DISPATCH_MIN_CELLS` floor.
+        """
+        if not self.span_dispatch or length <= 0:
+            return None
+        fan_out = int(getattr(self.channel, "fan_out", 1) or 1)
+        fan = max(num_shards or 1, fan_out)
+        if pool_only and fan_out <= 1:
+            return None
+        if fan <= 1 or fan > length or length < fan * SPAN_DISPATCH_MIN_CELLS:
+            return None
+        from repro.core.sharding import shard_bounds
+        return shard_bounds(int(length), fan)
+
+    def _scatter_spans(self, kind: str, frames):
+        """Issue span frames concurrently; concatenate replies in order."""
+        from repro.network.rpc import RpcMessage
+        messages = [RpcMessage(kind, payload, span=span)
+                    for payload, span in frames]
+        replies = self.channel.scatter(messages)
+        return np.concatenate([reply.payload for reply in replies], axis=1)
+
+    def _scatter_psi(self, columns, owner_ids, subtract_m, bounds):
+        frames = [
+            ({"a": [columns, 1, self._owners(owner_ids)],
+              "k": {"subtract_m": subtract_m}}, (lo, hi))
+            for lo, hi in bounds
+        ]
+        return self._scatter_spans("psi_round_batch", frames)
+
     # -- fused 2-D kernels ----------------------------------------------------
 
     def psi_round_batch(self, columns, num_threads: int = 1, owner_ids=None,
                         subtract_m=None, shard_plan=None):
+        """Fused Eq. 3 / Eq. 7 sweep, fanned out across a host pool.
+
+        Over a pooled channel against an unmodified host
+        (:attr:`span_dispatch`), the χ length splits into one
+        span-scoped frame per pool member (or per shard, whichever is
+        finer) and the concurrent replies concatenate bit-identically
+        to the whole sweep — the sharding layer's span contract, now
+        spanning hosts.  The χ length is known client-side: ``PF``
+        permutes the χ table, so ``params.pf.size`` *is* b.
+        """
+        columns = list(columns)
+        num_shards = self._shards(shard_plan)
+        bounds = self._span_bounds(self.params.pf.size, num_shards,
+                                   pool_only=True) if columns else None
+        if bounds is not None:
+            return self._scatter_psi(columns, owner_ids,
+                                     self._flags(subtract_m), bounds)
         return self.channel.call(
-            "psi_round_batch", list(columns), num_threads,
+            "psi_round_batch", columns, num_threads,
             self._owners(owner_ids),
             subtract_m=self._flags(subtract_m),
-            num_shards=self._shards(shard_plan))
+            num_shards=num_shards)
 
     def psi_cells_round_batch(self, columns, cells, num_threads: int = 1,
                               owner_ids=None, subtract_m=None,
@@ -200,33 +259,31 @@ class RemoteServer:
         """Cell-restricted Eq. 3 sweep; only the cell *indices* travel.
 
         The bucketized per-level rounds call this instead of
-        materialising χ shares client-side.  Under a shard plan against
-        an unmodified host (:attr:`span_dispatch`), the sweep is issued
-        as one span-scoped RPC frame per shard of the cells array and
-        the replies concatenate bit-identically to the whole sweep —
-        the per-round sweep genuinely travels sharded over the wire.
+        materialising χ shares client-side.  Under a shard plan or a
+        host pool against an unmodified host (:attr:`span_dispatch`),
+        the sweep is issued as one span-scoped RPC frame per shard of
+        the cells array — scattered concurrently across the channel
+        (pipelined on one host, fanned out over a pool) — and the
+        replies concatenate bit-identically to the whole sweep.
         Otherwise the shard *count* ships and the host decomposes
         locally (bit-identical either way).
         """
         cells = np.asarray(cells, dtype=np.int64)
         num_shards = self._shards(shard_plan)
-        if (self.span_dispatch and num_shards is not None
-                and 1 < num_shards <= cells.size
-                and cells.size >= num_shards * SPAN_DISPATCH_MIN_CELLS):
-            from repro.core.sharding import shard_bounds
-            from repro.network.rpc import RpcMessage
-            parts = []
-            for lo, hi in shard_bounds(int(cells.size), num_shards):
-                # Each frame carries only its own slice of the cells
-                # array (span over the slice), so a cell index travels
-                # and is validated exactly once across the shard frames.
-                payload = {"a": [list(columns), cells[lo:hi], num_threads,
-                                 self._owners(owner_ids)],
-                           "k": {"subtract_m": self._flags(subtract_m)}}
-                parts.append(self.channel.send(RpcMessage(
-                    "psi_cells_round_batch", payload,
-                    span=(0, hi - lo))).payload)
-            return np.concatenate(parts, axis=1)
+        bounds = self._span_bounds(int(cells.size), num_shards,
+                                   pool_only=False) if len(columns) else None
+        if bounds is not None:
+            # Each frame carries only its own slice of the cells array
+            # (span over the slice), so a cell index travels and is
+            # validated exactly once across the shard frames.
+            frames = [
+                ({"a": [list(columns), cells[lo:hi], num_threads,
+                        self._owners(owner_ids)],
+                  "k": {"subtract_m": self._flags(subtract_m)}},
+                 (0, hi - lo))
+                for lo, hi in bounds
+            ]
+            return self._scatter_spans("psi_cells_round_batch", frames)
         return self.channel.call(
             "psi_cells_round_batch", list(columns), cells, num_threads,
             self._owners(owner_ids), subtract_m=self._flags(subtract_m),
@@ -234,27 +291,100 @@ class RemoteServer:
 
     def count_round_batch(self, columns, num_threads: int = 1, owner_ids=None,
                           subtract_m=None, use_pf_s2=None, shard_plan=None):
+        """Fused §6.5 sweep: pooled fan-out + client-side permutation.
+
+        The §6.5 sweep is the Eq. 3 sweep followed by a *post-sweep*
+        row permutation (``PF_s1`` / ``PF_s2``) — not span-local, so a
+        pooled dispatch fans out the psi spans and applies the
+        permutation after concatenation, exactly as the sequential
+        runners already do with the very parameters the initiator
+        dealt this proxy (see the class docstring).  Bit-identical: the
+        permutation commutes with span concatenation by construction.
+        """
+        columns = list(columns)
+        num_shards = self._shards(shard_plan)
+        bounds = self._span_bounds(self.params.pf.size, num_shards,
+                                   pool_only=True) if columns else None
+        if bounds is not None:
+            flags = self._flags(use_pf_s2) or [False] * len(columns)
+            if len(flags) != len(columns):
+                raise ProtocolError(
+                    "use_pf_s2 flags must match the column count")
+            out = self._scatter_psi(columns, owner_ids,
+                                    self._flags(subtract_m), bounds)
+            for row, flag in enumerate(flags):
+                pf = self.params.pf_s2 if flag else self.params.pf_s1
+                out[row] = pf.apply(out[row])
+            return out
         return self.channel.call(
-            "count_round_batch", list(columns), num_threads,
+            "count_round_batch", columns, num_threads,
             self._owners(owner_ids),
             subtract_m=self._flags(subtract_m),
             use_pf_s2=self._flags(use_pf_s2),
-            num_shards=self._shards(shard_plan))
+            num_shards=num_shards)
 
     def psu_round_batch(self, columns, query_nonces, num_threads: int = 1,
                         owner_ids=None, permute=None, shard_plan=None):
+        """Fused Eq. 18 sweep, fanned out across a host pool.
+
+        Span frames request the *unpermuted* masked sweep (each host
+        seeks the counter-mode PRG to its own span of every row's mask
+        stream); the post-sweep ``PF_s1`` of permute-flagged rows is
+        applied after concatenation, mirroring the host kernel's own
+        order of operations.
+        """
+        columns = list(columns)
+        nonces = [int(nonce) for nonce in query_nonces]
+        num_shards = self._shards(shard_plan)
+        bounds = self._span_bounds(self.params.pf.size, num_shards,
+                                   pool_only=True) if columns else None
+        if bounds is not None:
+            frames = [
+                ({"a": [columns, nonces, 1, self._owners(owner_ids)],
+                  "k": {}}, (lo, hi))
+                for lo, hi in bounds
+            ]
+            out = self._scatter_spans("psu_round_batch", frames)
+            flags = self._flags(permute)
+            if flags is not None:
+                if len(flags) != len(columns):
+                    raise ProtocolError(
+                        "permute flags must match the column count")
+                for row, flag in enumerate(flags):
+                    if flag:
+                        out[row] = self.params.pf_s1.apply(out[row])
+            return out
         return self.channel.call(
-            "psu_round_batch", list(columns),
-            [int(nonce) for nonce in query_nonces], num_threads,
+            "psu_round_batch", columns, nonces, num_threads,
             self._owners(owner_ids), permute=self._flags(permute),
-            num_shards=self._shards(shard_plan))
+            num_shards=num_shards)
 
     def aggregate_round_batch(self, columns, z_matrix, num_threads: int = 1,
                               owner_ids=None, shard_plan=None):
+        """Fused Eq. 11 sweep, fanned out across a host pool.
+
+        Each span frame ships only its own slice of the querier-dealt
+        indicator-share matrix, so the z traffic shards with the sweep
+        instead of being replicated per member.
+        """
+        columns = list(columns)
+        z_matrix = np.asarray(z_matrix, dtype=np.int64)
+        num_shards = self._shards(shard_plan)
+        bounds = None
+        if columns and z_matrix.ndim == 2 and z_matrix.shape[0] == len(columns):
+            bounds = self._span_bounds(int(z_matrix.shape[1]), num_shards,
+                                       pool_only=True)
+        if bounds is not None:
+            frames = [
+                ({"a": [columns, z_matrix[:, lo:hi], 1,
+                        self._owners(owner_ids)],
+                  "k": {}}, (lo, hi))
+                for lo, hi in bounds
+            ]
+            return self._scatter_spans("aggregate_round_batch", frames)
         return self.channel.call(
-            "aggregate_round_batch", list(columns),
-            np.asarray(z_matrix, dtype=np.int64), num_threads,
-            self._owners(owner_ids), num_shards=self._shards(shard_plan))
+            "aggregate_round_batch", columns, z_matrix, num_threads,
+            self._owners(owner_ids), num_shards=num_shards)
 
     # -- extrema machinery ----------------------------------------------------
 

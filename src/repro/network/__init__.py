@@ -9,25 +9,33 @@ forked subprocess, TCP sockets), and the standalone entity host
 """
 
 from repro.network.codec import Frame, decode, decode_frame, encode, encode_frame
+from repro.network.dispatch import (
+    ConnectionLost,
+    DispatchLoop,
+    PooledChannel,
+    SocketChannel,
+)
 from repro.network.message import Endpoint, Message, Role, payload_nbytes
 from repro.network.rpc import (
     Channel,
     Deployment,
     InProcessChannel,
     RpcMessage,
-    SocketChannel,
     SubprocessChannel,
 )
 from repro.network.transport import LocalTransport, TrafficStats
 
 __all__ = [
     "Channel",
+    "ConnectionLost",
     "Deployment",
+    "DispatchLoop",
     "Endpoint",
     "Frame",
     "InProcessChannel",
     "LocalTransport",
     "Message",
+    "PooledChannel",
     "RpcMessage",
     "Role",
     "SocketChannel",

@@ -1,0 +1,678 @@
+"""Async multi-host dispatch: one selector loop, many multiplexed peers.
+
+PR 5's :class:`~repro.network.rpc.SocketChannel` admitted one in-flight
+request per connection: every RPC was a blocking round trip, so the
+three server roles were swept strictly one after another and a span
+decomposition serialised into span-count round trips.  This module
+rebuilds the TCP transport on a single background *dispatch loop*
+(:class:`DispatchLoop`, a ``selectors``-driven thread shared by every
+connection in the process) with three properties the scale-out story
+needs:
+
+* **Request pipelining** — a caller may issue any number of requests on
+  one connection before collecting replies; frames queue in an outbox
+  the loop flushes as the socket drains.  The entity host serves a
+  connection serially in order, so pipelined frames overlap client-side
+  work (and the *other* roles' sweeps) with the host's compute.
+* **Correlation-id multiplexing** — every reply is routed to the future
+  registered under its correlation id (:class:`_MuxConnection`).  An
+  unknown id is a protocol violation that poisons the connection; it
+  can never deliver to the wrong caller.
+* **Connection pooling** — :class:`PooledChannel` holds one multiplexed
+  connection per member of a server role's host pool.  State-changing
+  kinds broadcast to every member (replicas stay identical);
+  whole-sweep reads route to the least-loaded member; and
+  :meth:`PooledChannel.scatter` fans a span decomposition out across
+  the pool concurrently, which is how one fused sweep runs on several
+  hosts at once.
+
+Transport-level failures (EOF, reset, timeout) raise
+:class:`ConnectionLost` — a :class:`~repro.exceptions.ProtocolError`
+subclass, so existing handlers keep working — and a pool wraps them in
+a typed :class:`~repro.exceptions.QueryError` naming the failed member:
+a killed or hung pool host fails the query cleanly instead of
+deadlocking it or returning a partial result.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import selectors
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+
+from repro.exceptions import ProtocolError, QueryError
+from repro.network.codec import _FRAME_HEADER, FRAME_MAGIC, decode_frame
+from repro.network.rpc import (
+    CONSTRUCT,
+    ERROR,
+    MAX_FRAME_BYTES,
+    RESULT,
+    SHUTDOWN,
+    _LENGTH,
+    Channel,
+    RpcMessage,
+    _remote_exception,
+    encode_frame,
+)
+
+
+class ConnectionLost(ProtocolError):
+    """The transport under an in-flight request died (EOF/reset/timeout)."""
+
+
+#: Kinds that must reach *every* member of a host pool: replicas answer
+#: read-only requests interchangeably only because each one received the
+#: same outsourced shares, the same constructed entity, and the same
+#: lifecycle transitions.
+BROADCAST_KINDS = frozenset({CONSTRUCT, SHUTDOWN, "receive_shares", "close"})
+
+_RECV_CHUNK = 1 << 20
+_SEND_CHUNK = 1 << 18
+
+
+class DispatchLoop:
+    """One background selector thread driving every mux connection.
+
+    The loop owns all socket I/O: callers only append to a connection's
+    outbox (and :meth:`wake` the loop); the loop flushes outboxes,
+    reads replies, and completes the registered futures.  Selector
+    mutations are deferred to the loop thread through an op queue —
+    ``selectors`` objects are not thread-safe.
+    """
+
+    _shared: "DispatchLoop | None" = None
+    _shared_lock = threading.Lock()
+
+    @classmethod
+    def shared(cls) -> "DispatchLoop":
+        """The process-wide loop (created and started on first use)."""
+        with cls._shared_lock:
+            if cls._shared is None:
+                cls._shared = cls()
+        cls._shared.ensure_running()
+        return cls._shared
+
+    def __init__(self):
+        self._selector = selectors.DefaultSelector()
+        wake_recv, wake_send = socket.socketpair()
+        wake_recv.setblocking(False)
+        wake_send.setblocking(False)
+        self._wake_recv = wake_recv
+        self._wake_send = wake_send
+        self._selector.register(wake_recv, selectors.EVENT_READ, None)
+        self._ops: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+    def ensure_running(self) -> None:
+        with self._lock:
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-dispatch", daemon=True)
+                self._thread.start()
+
+    def wake(self) -> None:
+        """Interrupt a pending ``select`` (idempotent, non-blocking)."""
+        try:
+            self._wake_send.send(b"\x00")
+        except (BlockingIOError, InterruptedError, OSError):
+            pass  # a wake byte is already pending, which is enough
+
+    def defer(self, op) -> None:
+        """Run ``op`` on the loop thread before the next ``select``."""
+        with self._lock:
+            self._ops.append(op)
+        self.wake()
+
+    def attach(self, conn: "_MuxConnection") -> None:
+        self.defer(lambda: self._selector.register(
+            conn.sock, selectors.EVENT_READ, conn))
+        self.ensure_running()
+
+    def detach(self, conn: "_MuxConnection") -> None:
+        """Unregister + close a (dead) connection's socket, loop-side.
+
+        Closing on the loop thread, after the unregister, avoids the
+        select-on-closed-fd race a caller-side ``close()`` would create.
+        """
+        def op():
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        self.defer(op)
+
+    def _run(self) -> None:  # pragma: no cover - exercised via sockets
+        while True:
+            try:
+                self._tick()
+            except Exception:
+                # The loop must survive anything a single connection
+                # does; the connection's own error paths report to its
+                # callers.
+                continue
+
+    def _tick(self) -> None:  # pragma: no cover - exercised via sockets
+        while True:
+            with self._lock:
+                if not self._ops:
+                    break
+                op = self._ops.popleft()
+            try:
+                op()
+            except Exception:
+                pass
+        for key in list(self._selector.get_map().values()):
+            conn = key.data
+            if conn is None:
+                continue
+            conn.flush()
+            want = selectors.EVENT_READ
+            if conn.wants_write():
+                want |= selectors.EVENT_WRITE
+            if key.events != want:
+                try:
+                    self._selector.modify(key.fileobj, want, conn)
+                except (KeyError, ValueError, OSError):
+                    pass
+        for key, events in self._selector.select(timeout=1.0):
+            conn = key.data
+            if conn is None:
+                try:
+                    while self._wake_recv.recv(4096):
+                        pass
+                except (BlockingIOError, InterruptedError, OSError):
+                    pass
+                continue
+            if events & selectors.EVENT_WRITE:
+                conn.flush()
+            if events & selectors.EVENT_READ:
+                conn.on_readable()
+
+
+class _MuxConnection:
+    """One multiplexed peer: outbox, reassembly buffer, pending futures.
+
+    The wire-facing half (``flush``/``on_readable``) runs on the
+    dispatch loop; the protocol half (:meth:`receive_bytes`,
+    :meth:`_deliver`, :meth:`connection_lost`) is pure byte-stream
+    logic, so the multiplexer's routing invariants are directly
+    property-testable without sockets (``sock=None, loop=None``).
+    """
+
+    def __init__(self, sock: socket.socket | None, label: str = "?",
+                 loop: DispatchLoop | None = None):
+        self.sock = sock
+        self.label = label
+        self._loop = loop
+        self._lock = threading.Lock()
+        self._outbox = bytearray()
+        self._rx = bytearray()
+        self._pending: dict[int, Future] = {}
+        self._ids = itertools.count(1)
+        self._dead: Exception | None = None
+        self.requests = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        if sock is not None:
+            sock.setblocking(False)
+        if loop is not None:
+            loop.attach(self)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._dead is not None
+
+    # -- caller side ----------------------------------------------------------
+
+    def request(self, message: RpcMessage) -> "PendingReply":
+        """Queue one request frame; returns a handle for its reply."""
+        with self._lock:
+            if self._dead is not None:
+                raise ConnectionLost(
+                    f"channel to entity host {self.label} is closed: "
+                    f"{self._dead}")
+            correlation_id = next(self._ids)
+            blob = encode_frame(message.kind, correlation_id, message.span,
+                                message.payload)
+            self._outbox += _LENGTH.pack(len(blob))
+            self._outbox += blob
+            future: Future = Future()
+            self._pending[correlation_id] = future
+            self.requests += 1
+            self.bytes_sent += len(blob) + _LENGTH.size
+        if self._loop is not None:
+            self._loop.wake()
+        return PendingReply(self, correlation_id, future, message.kind)
+
+    def close(self) -> None:
+        """Caller-initiated teardown (fails any in-flight requests)."""
+        self.connection_lost(ConnectionLost(
+            f"channel to entity host {self.label} was closed locally"))
+
+    # -- loop side ------------------------------------------------------------
+
+    def wants_write(self) -> bool:
+        with self._lock:
+            return bool(self._outbox) and self._dead is None
+
+    def flush(self) -> None:
+        """Write as much of the outbox as the socket accepts (loop thread)."""
+        while True:
+            with self._lock:
+                if self._dead is not None or not self._outbox:
+                    return
+                chunk = bytes(self._outbox[:_SEND_CHUNK])
+            try:
+                sent = self.sock.send(chunk)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError as exc:
+                self.connection_lost(ConnectionLost(
+                    f"connection to entity host {self.label} failed: {exc}"))
+                return
+            with self._lock:
+                del self._outbox[:sent]
+
+    def on_readable(self) -> None:
+        """Drain the socket into the reassembly buffer (loop thread)."""
+        while True:
+            try:
+                data = self.sock.recv(_RECV_CHUNK)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError as exc:
+                self.connection_lost(ConnectionLost(
+                    f"connection to entity host {self.label} failed: {exc}"))
+                return
+            if not data:
+                self.connection_lost(ConnectionLost(
+                    f"entity host {self.label} closed the connection with "
+                    f"{self.in_flight} request(s) in flight"))
+                return
+            try:
+                self.receive_bytes(data)
+            except ProtocolError as exc:
+                self.connection_lost(exc)
+                return
+            if len(data) < _RECV_CHUNK:
+                return
+
+    # -- protocol logic (socket-free, property-tested) ------------------------
+
+    def receive_bytes(self, data: bytes) -> None:
+        """Feed received bytes; delivers every completed frame.
+
+        Raises:
+            ProtocolError: on a malformed length prefix or frame
+                envelope, or an unsolicited correlation id — the caller
+                must treat the stream as poisoned
+                (:meth:`connection_lost`); partial trailing frames
+                simply wait for more bytes.
+        """
+        self._rx += data
+        while True:
+            if len(self._rx) < _LENGTH.size:
+                return
+            (length,) = _LENGTH.unpack_from(self._rx, 0)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length {length} exceeds the wire cap")
+            end = _LENGTH.size + length
+            if len(self._rx) < end:
+                return
+            blob = bytes(self._rx[_LENGTH.size:end])
+            del self._rx[:end]
+            self.bytes_received += end
+            self._deliver(blob)
+
+    def _deliver(self, blob: bytes) -> None:
+        """Route one reply frame to the future holding its correlation id."""
+        if len(blob) < _FRAME_HEADER.size:
+            raise ProtocolError("wire frame too short for its envelope")
+        magic, _version, correlation_id, _lo, _hi = _FRAME_HEADER.unpack_from(
+            blob, 0)
+        if magic != FRAME_MAGIC:
+            raise ProtocolError(f"bad frame magic byte 0x{magic:02x}")
+        with self._lock:
+            if correlation_id == 0:
+                # The host could not decode a request, so it never
+                # learned our correlation id.  The host serves a
+                # connection strictly in order, so this reply belongs
+                # to the oldest in-flight request.
+                correlation_id = min(self._pending, default=0)
+            future = self._pending.pop(correlation_id, None)
+        if future is None:
+            raise ProtocolError(
+                f"unsolicited correlation id {correlation_id} from "
+                f"entity host {self.label}")
+        future.set_result(blob)
+
+    def connection_lost(self, exc: Exception) -> None:
+        """Poison the connection: fail every in-flight request with ``exc``.
+
+        Idempotent; safe from any thread.  After a loss nothing can be
+        mis-delivered — the pending map is cleared atomically and later
+        frames have nowhere to land.
+        """
+        with self._lock:
+            if self._dead is not None:
+                return
+            self._dead = exc
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self._outbox.clear()
+        for future in pending:
+            try:
+                future.set_exception(exc)
+            except Exception:
+                pass  # completed concurrently by a late delivery
+        if self._loop is not None:
+            self._loop.detach(self)
+            self._loop.wake()
+        elif self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+    @property
+    def stats(self) -> dict:
+        return {"requests": self.requests, "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received}
+
+
+class PendingReply:
+    """Handle for one pipelined request's eventual reply."""
+
+    def __init__(self, conn: _MuxConnection, correlation_id: int,
+                 future: Future, kind: str):
+        self._conn = conn
+        self._correlation_id = correlation_id
+        self._future = future
+        self._kind = kind
+
+    def result(self, timeout: float | None = None) -> RpcMessage:
+        """Block for the reply; decodes and error-maps on this thread.
+
+        Raises the rebuilt remote exception for ``__error__`` replies
+        and :class:`ConnectionLost` when the transport died (or the
+        ``timeout`` elapsed — which also poisons the connection: after
+        a timeout the reply stream can no longer be trusted to line up
+        with the pending ids).
+        """
+        try:
+            blob = self._future.result(timeout)
+        except FutureTimeout:
+            lost = ConnectionLost(
+                f"request {self._kind!r} to entity host {self._conn.label} "
+                f"timed out after {timeout:.1f}s")
+            self._conn.connection_lost(lost)
+            raise lost from None
+        except ConnectionLost as exc:
+            raise ConnectionLost(
+                f"{exc} (while waiting for {self._kind!r})") from exc
+        frame = decode_frame(blob)
+        # Error replies surface before the correlation check: the real
+        # diagnostic beats a mismatch report (mirrors _StreamChannel).
+        if frame.kind == ERROR:
+            raise _remote_exception(frame.payload)
+        if frame.correlation_id != self._correlation_id:
+            raise ProtocolError(
+                f"correlation mismatch: sent {self._correlation_id}, got "
+                f"{frame.correlation_id}")
+        if frame.kind != RESULT:
+            raise ProtocolError(f"unexpected reply kind {frame.kind!r}")
+        return RpcMessage(frame.kind, frame.payload, frame.correlation_id,
+                          frame.span)
+
+
+def _connect_retry(host: str, port: int, timeout: float) -> socket.socket:
+    """Connect with the boot-retry loop every TCP channel shares."""
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            # The connect timeout must not persist: request pacing is
+            # the dispatch layer's job (PendingReply.result), not the
+            # kernel's.
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last_error = exc
+            time.sleep(0.05)
+    raise ProtocolError(
+        f"cannot reach entity host at {host}:{port}: {last_error}")
+
+
+class SocketChannel(Channel):
+    """Channel to one ``repro-entity-host`` over TCP, on the dispatch loop.
+
+    Keeps the blocking :meth:`send` contract of the PR 4 channel (and
+    its error semantics — :class:`ConnectionLost` *is* a
+    ``ProtocolError``), but requests pipeline: :meth:`send_async`
+    returns a :class:`PendingReply` immediately, and :meth:`scatter`
+    issues a whole span decomposition before collecting any reply.
+    """
+
+    def __init__(self, conn: _MuxConnection, address: tuple[str, int],
+                 request_timeout: float | None = None):
+        self._conn = conn
+        self.address = address
+        self.request_timeout = request_timeout
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float = 10.0,
+                request_timeout: float | None = None) -> "SocketChannel":
+        """Connect, retrying until ``timeout`` (hosts may still be booting)."""
+        sock = _connect_retry(host, port, timeout)
+        conn = _MuxConnection(sock, f"{host}:{port}", DispatchLoop.shared())
+        return cls(conn, (host, port), request_timeout)
+
+    @property
+    def fan_out(self) -> int:
+        return 1
+
+    def send(self, message: RpcMessage) -> RpcMessage:
+        return self.send_async(message).result(self.request_timeout)
+
+    def send_async(self, message: RpcMessage) -> PendingReply:
+        """Pipeline one request; returns immediately."""
+        return self._conn.request(message)
+
+    def scatter(self, messages) -> list[RpcMessage]:
+        """Issue every request before collecting any reply (pipelined)."""
+        pendings = [self._conn.request(message) for message in messages]
+        return [pending.result(self.request_timeout) for pending in pendings]
+
+    def shutdown_remote(self) -> None:
+        """Ask the remote host process to exit, then close the channel."""
+        try:
+            self.send(RpcMessage(SHUTDOWN))
+        except (ProtocolError, OSError):
+            pass
+        self.close()
+
+    def close(self) -> None:
+        if not self._conn.closed:
+            self._conn.close()
+
+    @property
+    def stats(self) -> dict:
+        return self._conn.stats
+
+
+class PooledChannel(Channel):
+    """One server role served by a pool of replicated entity hosts.
+
+    Every member holds identical state: :data:`BROADCAST_KINDS`
+    (construction, outsourced shares, lifecycle) reach all members, so
+    any member can answer any read — whole-sweep requests route to the
+    least-loaded connection, and :meth:`scatter` spreads a span
+    decomposition across the pool round-robin, all members computing
+    their spans concurrently.
+
+    A member failing mid-request raises a typed
+    :class:`~repro.exceptions.QueryError` naming the member — never a
+    deadlock, never a partial result.
+    """
+
+    def __init__(self, members: list[_MuxConnection],
+                 request_timeout: float | None = None):
+        if not members:
+            raise ProtocolError("a host pool needs at least one member")
+        self._members = list(members)
+        self.request_timeout = request_timeout
+        self._rotation = itertools.count()
+        self._scattered = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def connect(cls, addresses, timeout: float = 10.0,
+                request_timeout: float | None = None) -> "PooledChannel":
+        loop = DispatchLoop.shared()
+        members: list[_MuxConnection] = []
+        try:
+            for host, port in addresses:
+                sock = _connect_retry(host, int(port), timeout)
+                members.append(_MuxConnection(sock, f"{host}:{port}", loop))
+        except BaseException:
+            for member in members:
+                member.close()
+            raise
+        return cls(members, request_timeout)
+
+    @property
+    def fan_out(self) -> int:
+        return len(self._members)
+
+    @property
+    def addresses(self) -> list[str]:
+        return [member.label for member in self._members]
+
+    def send(self, message: RpcMessage) -> RpcMessage:
+        if message.kind in BROADCAST_KINDS:
+            # Issue to every member first, then gather: the replicas
+            # apply the state change concurrently.
+            pendings = [(m, self._request(m, message)) for m in self._members]
+            replies = [self._result(m, p) for m, p in pendings]
+            return replies[0]
+        member = self._pick()
+        return self._result(member, self._request(member, message))
+
+    def scatter(self, messages) -> list[RpcMessage]:
+        """Fan span frames across the pool; replies in request order."""
+        pendings = []
+        for index, message in enumerate(messages):
+            member = self._members[index % len(self._members)]
+            pendings.append((member, self._request(member, message)))
+        with self._lock:
+            self._scattered += len(pendings)
+        return [self._result(member, pending) for member, pending in pendings]
+
+    def _pick(self) -> _MuxConnection:
+        # Least-loaded member; the rotating tiebreak spreads an idle
+        # pool's traffic instead of pinning it to member 0.
+        start = next(self._rotation) % len(self._members)
+        ordered = self._members[start:] + self._members[:start]
+        return min(ordered, key=lambda member: member.in_flight)
+
+    def _request(self, member: _MuxConnection,
+                 message: RpcMessage) -> PendingReply:
+        try:
+            return member.request(message)
+        except ConnectionLost as exc:
+            raise QueryError(
+                f"server pool member {member.label} is unreachable: "
+                f"{exc}") from exc
+
+    def _result(self, member: _MuxConnection,
+                pending: PendingReply) -> RpcMessage:
+        try:
+            return pending.result(self.request_timeout)
+        except ConnectionLost as exc:
+            raise QueryError(
+                f"server pool member {member.label} failed mid-request: "
+                f"{exc}") from exc
+
+    def shutdown_remote(self) -> None:
+        try:
+            self.send(RpcMessage(SHUTDOWN))
+        except (ProtocolError, QueryError, OSError):
+            pass
+        self.close()
+
+    def close(self) -> None:
+        for member in self._members:
+            if not member.closed:
+                member.close()
+
+    @property
+    def stats(self) -> dict:
+        members = [member.stats for member in self._members]
+        with self._lock:
+            scattered = self._scattered
+        return {
+            "requests": sum(s["requests"] for s in members),
+            "bytes_sent": sum(s["bytes_sent"] for s in members),
+            "bytes_received": sum(s["bytes_received"] for s in members),
+            "fan_out": len(members),
+            "scattered_frames": scattered,
+            "members": members,
+        }
+
+
+# -- overlapped role dispatch -------------------------------------------------
+
+_OVERLAP_POOL = None
+_OVERLAP_LOCK = threading.Lock()
+
+
+def overlap(thunks) -> list:
+    """Run per-server sweep thunks concurrently; results in order.
+
+    Used by the batch engine when every server is remote: the three
+    roles' fused sweeps block on socket I/O, so a small shared thread
+    pool overlaps them (the hosts compute in their own processes).  The
+    first exception propagates after all thunks have settled — a failed
+    member never leaves a sibling thunk running into torn state.
+    """
+    thunks = list(thunks)
+    if len(thunks) <= 1:
+        return [thunk() for thunk in thunks]
+    global _OVERLAP_POOL
+    with _OVERLAP_LOCK:
+        if _OVERLAP_POOL is None:
+            from concurrent.futures import ThreadPoolExecutor
+            _OVERLAP_POOL = ThreadPoolExecutor(
+                max_workers=8, thread_name_prefix="repro-overlap")
+        pool = _OVERLAP_POOL
+    futures = [pool.submit(thunk) for thunk in thunks]
+    results, first_error = [], None
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if first_error is None:
+                first_error = exc
+            results.append(None)
+    if first_error is not None:
+        raise first_error
+    return results

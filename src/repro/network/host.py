@@ -80,8 +80,16 @@ _SHARDED_KERNELS = frozenset({
     "psu_round_batch", "aggregate_round_batch",
 })
 
-#: Kernels servable span-scoped (the frame envelope names the span).
-_SPAN_KERNELS = frozenset({"psi_round_batch", "psi_cells_round_batch"})
+#: Kernels servable span-scoped (the frame envelope names the span),
+#: with the 1-D kernels whose override disqualifies span service — the
+#: span path reads the store directly and must never silently bypass a
+#: malicious / instrumented subclass.
+_SPAN_KERNELS = {
+    "psi_round_batch": ("psi_round", "verification_round"),
+    "psi_cells_round_batch": ("psi_round", "verification_round"),
+    "psu_round_batch": ("psu_round",),
+    "aggregate_round_batch": ("aggregate_round",),
+}
 
 
 class ServerAdapter:
@@ -138,13 +146,16 @@ class ServerAdapter:
     def _span_request(self, kind, args, kwargs, span):
         """One contiguous span of a fused sweep (see module docstring).
 
-        Supported for the Eq. 3 / Eq. 7 family — whole-χ
-        (``psi_round_batch``, span over the χ length) and
-        cell-restricted (``psi_cells_round_batch``, span over the cells
-        array; the bucketized per-level rounds of a sharded remote
-        deployment arrive this way).  The span kernel reads the store
-        directly (exactly like a forked shard worker), so it refuses
-        servers whose kernels are overridden — a malicious or
+        Supported for every batchable sweep family: whole-χ Eq. 3 /
+        Eq. 7 (``psi_round_batch``), cell-restricted
+        (``psi_cells_round_batch``, span over the cells array), Eq. 18
+        (``psu_round_batch``, serving the *unpermuted* masked sweep —
+        the dispatcher applies the post-sweep ``PF_s1`` after
+        concatenation, with the very parameters the initiator dealt
+        it), and Eq. 11 (``aggregate_round_batch``, the frame carrying
+        this span's slice of the z matrix).  The span kernel reads the
+        store directly (exactly like a forked shard worker), so it
+        refuses servers whose kernels are overridden — a malicious or
         instrumented subclass must keep misbehaving per call, never be
         silently bypassed by span dispatch.
         """
@@ -155,12 +166,18 @@ class ServerAdapter:
             )
         server = self.server
         if (type(server) is not PrismServer
-                or server._kernel_overridden("psi_round",
-                                             "verification_round")):
+                or server._kernel_overridden(*_SPAN_KERNELS[kind])):
             raise ProtocolError(
                 "span-scoped execution requires an unmodified server"
             )
         columns = list(args[0]) if args else list(kwargs.get("columns", ()))
+        if not columns:
+            raise ProtocolError("malformed span request")
+        lo, hi = span
+        if kind == "psu_round_batch":
+            return self._psu_span(server, columns, args, kwargs, lo, hi)
+        if kind == "aggregate_round_batch":
+            return self._agg_span(server, columns, args, kwargs, lo, hi)
         cells = None
         if kind == "psi_cells_round_batch":
             # (columns, cells, num_threads, owner_ids) positionally.
@@ -179,26 +196,10 @@ class ServerAdapter:
             subtract_m = args[flag_slot]
         if subtract_m is None:
             subtract_m = [True] * len(columns)
-        if not columns or len(subtract_m) != len(columns):
+        if len(subtract_m) != len(columns):
             raise ProtocolError("malformed span request")
-        owners = [list(owner_ids) if owner_ids is not None
-                  else server.store.owners_with(column)
-                  for column in columns]
-        # Mirror the kernels' _check_uniform: a fused span sums a fixed
-        # set of share vectors per row, so mixed owner sets or lengths
-        # must fail loudly — never corrupt a concatenating dispatcher.
-        counts = {len(col_owners) for col_owners in owners}
-        if len(counts) != 1:
-            raise ProtocolError(
-                "span request needs a uniform owner set across columns")
-        lengths = {server.store.get(col_owners[0], column).values.shape[0]
-                   for column, col_owners in zip(columns, owners)}
-        if len(lengths) != 1:
-            raise ProtocolError(
-                "span request needs equal-length columns")
-        b = lengths.pop()
+        owners, b = self._span_owners(server, columns, owner_ids)
         n = b if cells is None else len(cells)
-        lo, hi = span
         if hi > n:
             raise ProtocolError(f"span ({lo}, {hi}) exceeds sweep length {n}")
         m_rows = server._batch_m_shares(list(subtract_m), len(owners[0]),
@@ -215,6 +216,99 @@ class ServerAdapter:
             raise ProtocolError(f"cell indices out of range for χ length {b}")
         spec["cells"] = cells
         return compute_sweep_span(server, "psi_cells", spec, lo, hi)
+
+    @staticmethod
+    def _span_owners(server, columns, owner_ids):
+        """Per-column owner lists + the uniform χ length for a span.
+
+        Mirrors the kernels' ``_check_uniform``: a fused span sums a
+        fixed set of share vectors per row, so mixed owner sets or
+        lengths must fail loudly — never corrupt a concatenating
+        dispatcher.
+        """
+        owners = [list(owner_ids) if owner_ids is not None
+                  else server.store.owners_with(column)
+                  for column in columns]
+        counts = {len(col_owners) for col_owners in owners}
+        if len(counts) != 1:
+            raise ProtocolError(
+                "span request needs a uniform owner set across columns")
+        lengths = {server.store.get(col_owners[0], column).values.shape[0]
+                   for column, col_owners in zip(columns, owners)}
+        if len(lengths) != 1:
+            raise ProtocolError(
+                "span request needs equal-length columns")
+        return owners, lengths.pop()
+
+    def _psu_span(self, server, columns, args, kwargs, lo, hi):
+        """One span of the *unpermuted* fused Eq. 18 sweep.
+
+        ``(columns, query_nonces, num_threads, owner_ids)``
+        positionally.  Mirrors ``psu_round_batch``'s dedup: share sums
+        are computed once per distinct column and broadcast by row_map;
+        each row's mask span is derived by seeking the counter-mode PRG
+        (bit-identical to slicing the full stream).  The post-sweep
+        ``PF_s1`` of permute-flagged rows is *not* span-local, so span
+        requests must not ask for it — the dispatcher permutes after
+        concatenation.
+        """
+        if len(args) < 2:
+            raise ProtocolError("malformed span request: no query nonces")
+        nonces = [int(nonce) for nonce in args[1]]
+        if len(nonces) != len(columns):
+            raise ProtocolError("query_nonces must match the column count")
+        permute = kwargs.get("permute")
+        if permute is None and len(args) > 4:
+            permute = args[4]
+        if permute is not None and any(permute):
+            raise ProtocolError(
+                "span-scoped PSU serves the unpermuted sweep; the "
+                "dispatcher applies PF_s1 after concatenation")
+        owner_ids = kwargs.get("owner_ids")
+        if owner_ids is None and len(args) > 3:
+            owner_ids = args[3]
+        uniq = list(dict.fromkeys(columns))
+        row_map = [uniq.index(column) for column in columns]
+        owners, b = self._span_owners(server, uniq, owner_ids)
+        if hi > b:
+            raise ProtocolError(f"span ({lo}, {hi}) exceeds sweep length {b}")
+        spec = {
+            "columns": uniq,
+            "owners": owners,
+            "row_map": row_map,
+            "nonces": nonces,
+            "rows": len(columns),
+        }
+        return compute_sweep_span(server, "psu", spec, lo, hi)
+
+    def _agg_span(self, server, columns, args, kwargs, lo, hi):
+        """One span of the fused Eq. 11 sweep.
+
+        ``(columns, z_block, num_threads, owner_ids)`` positionally —
+        the frame ships only *this span's* slice of the querier-dealt
+        indicator-share matrix, so the z traffic shards with the sweep.
+        """
+        import numpy as np
+        if len(args) < 2:
+            raise ProtocolError("malformed span request: no z matrix")
+        z_block = np.asarray(args[1], dtype=np.int64)
+        if z_block.ndim != 2 or z_block.shape != (len(columns), hi - lo):
+            raise ProtocolError(
+                f"z block of shape {z_block.shape} does not cover span "
+                f"({lo}, {hi}) for {len(columns)} rows")
+        owner_ids = kwargs.get("owner_ids")
+        if owner_ids is None and len(args) > 3:
+            owner_ids = args[3]
+        owners, b = self._span_owners(server, columns, owner_ids)
+        if hi > b:
+            raise ProtocolError(f"span ({lo}, {hi}) exceeds sweep length {b}")
+        spec = {
+            "columns": columns,
+            "owners": owners,
+            "rows": len(columns),
+        }
+        return compute_sweep_span(server, "agg", spec, lo, hi,
+                                  z_span=z_block)
 
 
 def adapter_for(entity) -> ServerAdapter:
@@ -377,46 +471,73 @@ def serve_tcp(port: int, host: str = "127.0.0.1", announce=print) -> None:
 def launch_forked_hosts(count: int = 3, host: str = "127.0.0.1"):
     """Fork ``count`` entity-host processes on ephemeral ports.
 
-    The listeners are bound in the parent (so there is no port race)
-    and inherited by the children through the fork.  Returns
-    ``(deployment_spec, processes)`` where the spec is a ready-to-use
-    ``"tcp://host:port,..."`` string; terminate the processes when done.
+    Each child binds port 0 itself and reports the kernel-assigned port
+    back through the bootstrap handshake (a pipe), so no port is ever
+    picked before its bind — nothing to race, nothing to leak between
+    siblings.  Returns ``(deployment_spec, processes)`` where the spec
+    is a ready-to-use ``"tcp://host:port,..."`` string; terminate the
+    processes when done.
     """
-    import multiprocessing
-    context = multiprocessing.get_context("fork")
-    listeners = []
-    for _ in range(count):
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((host, 0))
-        listener.listen()
-        listeners.append(listener)
-    processes = []
-    for index in range(count):
-        process = context.Process(target=_serve_one_of,
-                                  args=(listeners, index),
-                                  name="repro-entity-host", daemon=True)
-        process.start()
-        processes.append(process)
+    pools, processes = launch_forked_pools([1] * count, host)
     spec = "tcp://" + ",".join(
-        f"{host}:{listener.getsockname()[1]}" for listener in listeners)
-    for listener in listeners:
-        listener.close()  # the children hold their own inherited copies
+        f"{h}:{p}" for pool in pools for h, p in pool)
     return spec, processes
 
 
-def _serve_one_of(listeners: list[socket.socket], index: int) -> None:
-    """Child entry for :func:`launch_forked_hosts`: serve one listener.
+def launch_forked_pools(pool_sizes, host: str = "127.0.0.1"):
+    """Fork one entity-host process per member of each role's pool.
 
-    The fork hands every child *all* the listener fds; the siblings'
-    copies must be closed, or a dead host's port would keep accepting
-    connections (into a backlog nobody drains) instead of refusing
-    them — clients would hang forever rather than fail fast.
+    ``pool_sizes`` gives the pool size per server role, e.g.
+    ``[2, 2, 2]`` for two hosts behind each of the three roles.
+    Returns ``(pools, processes)`` where ``pools`` is one
+    ``[(host, port), ...]`` list per role (ports reported back by the
+    children through the bootstrap handshake); format a deployment
+    string with :func:`pools_spec`.
     """
-    for other, listener in enumerate(listeners):
-        if other != index:
-            listener.close()
-    serve_listener(listeners[index])
+    import multiprocessing
+    context = multiprocessing.get_context("fork")
+    processes: list = []
+    pools: list[list[tuple[str, int]]] = []
+    try:
+        for size in pool_sizes:
+            members = []
+            for _ in range(int(size)):
+                receiver, sender = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_serve_announced, args=(host, sender),
+                    name="repro-entity-host", daemon=True)
+                process.start()
+                processes.append(process)
+                sender.close()  # the child holds the write end now
+                try:
+                    port = int(receiver.recv())
+                finally:
+                    receiver.close()
+                members.append((host, port))
+            pools.append(members)
+    except (EOFError, OSError) as exc:
+        for process in processes:
+            process.terminate()
+        raise ProtocolError(
+            f"entity host died before announcing its port: {exc}") from exc
+    return pools, processes
+
+
+def pools_spec(pools) -> str:
+    """The ``tcp://`` deployment string for :func:`launch_forked_pools`."""
+    return "tcp://" + "/".join(
+        ",".join(f"{h}:{p}" for h, p in pool) for pool in pools)
+
+
+def _serve_announced(host: str, sender) -> None:
+    """Child entry: bind port 0, report the assigned port, then serve."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as listener:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, 0))
+        listener.listen()
+        sender.send(listener.getsockname()[1])
+        sender.close()
+        serve_listener(listener)
 
 
 def main(argv=None) -> int:

@@ -13,7 +13,9 @@ the entity's reply.  Three implementations cover the deployment ladder:
   process; frames travel over a socketpair.
 * :class:`SocketChannel` — the entity is hosted by a standalone
   ``repro-entity-host`` process (:mod:`repro.network.host`) and frames
-  travel length-prefixed over TCP.
+  travel length-prefixed over TCP, multiplexed on the shared dispatch
+  loop of :mod:`repro.network.dispatch` (which also provides
+  :class:`~repro.network.dispatch.PooledChannel` for host *pools*).
 
 Every message is wrapped in the codec's framed envelope
 (:func:`repro.network.codec.encode_frame`): kind, correlation id, shard
@@ -22,9 +24,11 @@ coalescing scheduler and direct callers multiplex one connection);
 shard spans let span-scoped sharded sweeps run against a remote host.
 
 The :class:`Deployment` spec is the single declaration of topology —
-``"local"``, ``"subprocess"``, or ``"tcp://host:port,host:port,..."``
-— parsed once by :class:`~repro.core.system.PrismSystem` and plumbed
-through the client/executor layers.
+``"local"``, ``"subprocess"``, or ``"tcp://..."`` with one address
+list per server role (``,`` separates a role's pool members, ``/``
+separates roles) — parsed once by
+:class:`~repro.core.system.PrismSystem` and plumbed through the
+client/executor layers.
 """
 
 from __future__ import annotations
@@ -35,7 +39,6 @@ import multiprocessing
 import socket
 import struct
 import threading
-import time
 
 from repro import exceptions as _exceptions
 from repro.core.params import ServerGroupView, ServerParams
@@ -127,29 +130,49 @@ class Deployment:
         mode: ``"local"`` (in-process, zero-copy), ``"subprocess"``
             (forked entity hosts, frames over pipes), or ``"tcp"``
             (standalone ``repro-entity-host`` processes).
-        addresses: for ``tcp``, one ``(host, port)`` per server.
+        pools: for ``tcp``, one host *pool* per server role — a tuple
+            of ``(host, port)`` replicas all holding the same role's
+            state.  A pool of one is the classic single-host role.
     """
 
     mode: str
-    addresses: tuple[tuple[str, int], ...] = ()
+    pools: tuple[tuple[tuple[str, int], ...], ...] = ()
 
     @property
     def is_local(self) -> bool:
         return self.mode == "local"
+
+    @property
+    def addresses(self) -> tuple[tuple[str, int], ...]:
+        """One ``(host, port)`` per role: each pool's first member.
+
+        The pre-pool shape — everything that only needs *a* host per
+        role (and every caller written before pools) keeps working.
+        """
+        return tuple(pool[0] for pool in self.pools)
+
+    @property
+    def pool_sizes(self) -> tuple[int, ...]:
+        return tuple(len(pool) for pool in self.pools)
 
     @classmethod
     def parse(cls, spec, num_servers: int = 3) -> "Deployment":
         """Parse a deployment declaration.
 
         Accepts a :class:`Deployment` (returned as-is), ``"local"``,
-        ``"subprocess"``, or ``"tcp://host:port,host:port,host:port"``
-        with exactly ``num_servers`` comma-separated addresses.
+        ``"subprocess"``, or a ``tcp://`` spec with one address list
+        per server role.  Two tcp shapes:
+
+        * ``"tcp://h1:p1,h2:p2,h3:p3"`` — the historical form: exactly
+          ``num_servers`` comma-separated addresses, one host per role.
+        * ``"tcp://h1:p1,h1:p2/h2:p3/h3:p4"`` — host pools: ``/``
+          separates the roles, ``,`` the pool members within a role.
         """
         if isinstance(spec, cls):
-            if spec.mode == "tcp" and len(spec.addresses) != num_servers:
+            if spec.mode == "tcp" and len(spec.pools) != num_servers:
                 raise ParameterError(
-                    f"tcp deployment needs {num_servers} addresses, got "
-                    f"{len(spec.addresses)}"
+                    f"tcp deployment needs {num_servers} address pools, got "
+                    f"{len(spec.pools)}"
                 )
             return spec
         if not isinstance(spec, str):
@@ -160,20 +183,29 @@ class Deployment:
         if spec in ("local", "subprocess"):
             return cls(mode=spec)
         if spec.startswith("tcp://"):
-            addresses = []
-            for part in spec[len("tcp://"):].split(","):
-                host, sep, port = part.strip().rpartition(":")
-                if not sep or not host or not port.isdigit():
-                    raise ParameterError(
-                        f"bad tcp address {part.strip()!r}; expected host:port"
-                    )
-                addresses.append((host, int(port)))
-            if len(addresses) != num_servers:
+            body = spec[len("tcp://"):]
+            # Without a "/" the commas separate the roles (the
+            # historical one-host-per-role form); with one, they
+            # separate a role's pool members.
+            role_specs = body.split("/") if "/" in body else body.split(",")
+            pools = []
+            for role_spec in role_specs:
+                members = []
+                for part in role_spec.split(","):
+                    host, sep, port = part.strip().rpartition(":")
+                    if not sep or not host or not port.isdigit():
+                        raise ParameterError(
+                            f"bad tcp address {part.strip()!r}; expected "
+                            f"host:port"
+                        )
+                    members.append((host, int(port)))
+                pools.append(tuple(members))
+            if len(pools) != num_servers:
                 raise ParameterError(
-                    f"tcp deployment needs {num_servers} comma-separated "
-                    f"addresses (one per server), got {len(addresses)}"
+                    f"tcp deployment needs {num_servers} address pools "
+                    f"(one per server), got {len(pools)}"
                 )
-            return cls(mode="tcp", addresses=tuple(addresses))
+            return cls(mode="tcp", pools=tuple(pools))
         raise ParameterError(
             f"unknown deployment {spec!r}; expected 'local', 'subprocess', "
             f"or 'tcp://host:port,...'"
@@ -211,6 +243,21 @@ class Channel:
         reply = self.send(RpcMessage(kind=method,
                                      payload={"a": list(args), "k": kwargs}))
         return reply.payload
+
+    @property
+    def fan_out(self) -> int:
+        """How many hosts serve this channel concurrently (pool size)."""
+        return 1
+
+    def scatter(self, messages) -> list["RpcMessage"]:
+        """Deliver a batch of requests; replies in request order.
+
+        The base channel sends them one by one; multiplexed channels
+        (:mod:`repro.network.dispatch`) override this with pipelined /
+        pooled fan-out, which is what makes span-decomposed sweeps
+        travel concurrently.
+        """
+        return [self.send(message) for message in messages]
 
     def close(self) -> None:
         """Release the channel (idempotent)."""
@@ -391,42 +438,15 @@ class SubprocessChannel(_StreamChannel):
                 self.process.join(timeout=10)
 
 
-class SocketChannel(_StreamChannel):
-    """Channel to a standalone ``repro-entity-host`` over TCP."""
-
-    def __init__(self, sock: socket.socket, address: tuple[str, int]):
-        super().__init__(sock)
-        self.address = address
-
-    @classmethod
-    def connect(cls, host: str, port: int,
-                timeout: float = 10.0) -> "SocketChannel":
-        """Connect, retrying until ``timeout`` (hosts may still be booting)."""
-        deadline = time.monotonic() + timeout
-        last_error: Exception | None = None
-        while time.monotonic() < deadline:
-            try:
-                sock = socket.create_connection((host, port), timeout=timeout)
-                # The connect timeout must not persist: a server-side
-                # sweep may legitimately run longer than any handshake
-                # bound, and a timed-out recv would desynchronise the
-                # correlation stream.
-                sock.settimeout(None)
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                return cls(sock, (host, port))
-            except OSError as exc:
-                last_error = exc
-                time.sleep(0.05)
-        raise ProtocolError(
-            f"cannot reach entity host at {host}:{port}: {last_error}")
-
-    def shutdown_remote(self) -> None:
-        """Ask the remote host process to exit, then close the channel."""
-        try:
-            self.send(RpcMessage(SHUTDOWN))
-        except (ProtocolError, OSError):
-            pass
-        self.close()
+def __getattr__(name: str):
+    # TCP channels live on the shared dispatch loop
+    # (:mod:`repro.network.dispatch`), which imports this module for
+    # the wire primitives; re-export them lazily to avoid the cycle.
+    if name in ("SocketChannel", "PooledChannel", "ConnectionLost",
+                "DispatchLoop"):
+        from repro.network import dispatch
+        return getattr(dispatch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # -- parameter views over the wire -------------------------------------------

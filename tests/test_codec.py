@@ -409,3 +409,123 @@ class TestFrames:
             decode_frame(blob)
         except ProtocolError:
             pass
+
+
+# -- the reply multiplexer ----------------------------------------------------
+
+
+def _mux():
+    """A socket-free mux connection (protocol half only)."""
+    from repro.network.dispatch import _MuxConnection
+    return _MuxConnection(None, "test", None)
+
+
+def _issue(conn, n):
+    """Register ``n`` pipelined requests; returns their reply handles."""
+    from repro.network.rpc import RpcMessage
+    return [conn.request(RpcMessage("psi_round_batch", {"q": i}))
+            for i in range(n)]
+
+
+def _reply_bytes(correlation_id, payload, kind="__result__"):
+    blob = encode_frame(kind, correlation_id, FULL_SPAN, payload)
+    return struct.pack("<Q", len(blob)) + blob
+
+
+class TestReplyMultiplexer:
+    """Routing invariants of the dispatch-loop connection.
+
+    Property-tested offline: :class:`_MuxConnection`'s protocol half is
+    pure byte-stream logic, so out-of-order replies, arbitrary chunk
+    boundaries, truncation, and garbage are all drivable without
+    sockets — and none of them may ever deliver a frame to the wrong
+    future.
+    """
+
+    @given(st.permutations(list(range(1, 7))))
+    @settings(max_examples=40, deadline=None)
+    def test_out_of_order_replies_route_by_correlation_id(self, order):
+        conn = _mux()
+        pending = _issue(conn, 6)
+        for correlation_id in order:
+            conn.receive_bytes(_reply_bytes(correlation_id,
+                                            {"echo": correlation_id}))
+        for index, handle in enumerate(pending):
+            reply = handle.result(0)
+            assert reply.payload == {"echo": index + 1}
+        assert conn.in_flight == 0
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_chunk_boundaries_never_misdeliver(self, data):
+        conn = _mux()
+        count = data.draw(st.integers(2, 5))
+        pending = _issue(conn, count)
+        stream = b"".join(_reply_bytes(i, {"echo": i})
+                          for i in range(1, count + 1))
+        cuts = sorted(data.draw(st.lists(
+            st.integers(0, len(stream)), max_size=8)))
+        pieces = [stream[lo:hi]
+                  for lo, hi in zip([0] + cuts, cuts + [len(stream)])]
+        for piece in pieces:
+            conn.receive_bytes(piece)
+        for index, handle in enumerate(pending):
+            assert handle.result(0).payload == {"echo": index + 1}
+
+    def test_truncated_frame_waits_then_connection_loss_fails_all(self):
+        from repro.network.dispatch import ConnectionLost
+        conn = _mux()
+        first, second = _issue(conn, 2)
+        whole = _reply_bytes(1, {"echo": 1})
+        truncated = _reply_bytes(2, {"echo": 2})[:-3]
+        conn.receive_bytes(whole + truncated)
+        assert first.result(0).payload == {"echo": 1}
+        # The partial frame must wait for more bytes, not deliver.
+        assert conn.in_flight == 1
+        conn.connection_lost(ConnectionLost("host died mid-frame"))
+        with pytest.raises(ConnectionLost, match="mid-frame"):
+            second.result(0)
+        # Nothing can land after a loss — the stream is poisoned.
+        assert conn.closed
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_garbage_frames_poison_never_misdeliver(self, junk):
+        conn = _mux()
+        (handle,) = _issue(conn, 1)
+        stream = struct.pack("<Q", len(junk)) + junk
+        try:
+            conn.receive_bytes(stream)
+        except ProtocolError:
+            return  # poisoned loudly: the only acceptable failure mode
+        # Junk that happens to parse as a frame must still have routed
+        # by our correlation id — never to a future we did not issue.
+        if handle._future.done():
+            frame = decode_frame(handle._future.result())
+            assert frame.correlation_id == 1
+
+    def test_unsolicited_correlation_id_is_a_protocol_error(self):
+        conn = _mux()
+        _issue(conn, 1)
+        with pytest.raises(ProtocolError, match="unsolicited"):
+            conn.receive_bytes(_reply_bytes(99, None))
+
+    def test_error_frame_with_zero_cid_reaches_oldest_request(self):
+        # A host that cannot decode a request never learns its
+        # correlation id; it answers cid 0 and serves strictly in
+        # order, so the error belongs to the oldest in-flight request.
+        conn = _mux()
+        oldest, newer = _issue(conn, 2)
+        conn.receive_bytes(_reply_bytes(
+            0, {"type": "ProtocolError", "message": "undecodable request"},
+            kind="__error__"))
+        with pytest.raises(ProtocolError, match="undecodable"):
+            oldest.result(0)
+        assert conn.in_flight == 1
+        assert not newer._future.done()
+
+    def test_oversized_length_prefix_rejected(self):
+        conn = _mux()
+        _issue(conn, 1)
+        with pytest.raises(ProtocolError, match="wire cap"):
+            conn.receive_bytes(struct.pack("<Q", 1 << 60) + b"x")

@@ -409,10 +409,233 @@ class TestServerAdapter:
         system.close()
 
     def test_span_on_unsupported_kernel_rejected(self):
+        # count_round_batch's post-sweep permutation is not span-local,
+        # so it stays whole-sweep-only: the dispatcher fans out psi
+        # spans and permutes client-side instead.
         system = build("local")
         adapter = ServerAdapter(system.servers[0])
         reply = adapter.dispatch(RpcMessage(
-            "psu_round_batch", {"a": [["k"], [1]], "k": {}}, span=(0, 4)))
+            "count_round_batch", {"a": [["k"]], "k": {}}, span=(0, 4)))
         assert reply.kind == "__error__"
         assert "span" in reply.payload["message"]
         system.close()
+
+    def test_span_psu_rejects_permute_flags(self):
+        # Span-scoped PSU serves the unpermuted sweep; a frame asking
+        # the host to permute a span would corrupt the concatenation.
+        system = build("local")
+        adapter = ServerAdapter(system.servers[0])
+        reply = adapter.dispatch(RpcMessage(
+            "psu_round_batch",
+            {"a": [["k"], [1]], "k": {"permute": [True]}}, span=(0, 4)))
+        assert reply.kind == "__error__"
+        assert "unpermuted" in reply.payload["message"]
+        system.close()
+
+
+# -- span kernels, in-process -------------------------------------------------
+
+
+class TestSpanKernels:
+    """Span-scoped sweep frames concatenate bit-identically, per family."""
+
+    def test_psi_span_frames_concatenate(self):
+        system = build("local")
+        server = system.servers[0]
+        adapter = ServerAdapter(server)
+        full = server.psi_round_batch(["k", "k"], subtract_m=[True, False])
+        parts = []
+        for span in ((0, 3), (3, 8)):
+            reply = adapter.dispatch(RpcMessage(
+                "psi_round_batch",
+                {"a": [["k", "k"], 1, None],
+                 "k": {"subtract_m": [True, False]}}, span=span))
+            assert reply.kind == "__result__"
+            parts.append(reply.payload)
+        assert np.array_equal(np.concatenate(parts, axis=1), full)
+        system.close()
+
+    def test_psu_span_frames_concatenate_unpermuted(self):
+        system = build("local")
+        server = system.servers[0]
+        adapter = ServerAdapter(server)
+        full = server.psu_round_batch(["k", "k"], [5, 9])
+        parts = []
+        for span in ((0, 5), (5, 8)):
+            reply = adapter.dispatch(RpcMessage(
+                "psu_round_batch",
+                {"a": [["k", "k"], [5, 9], 1, None], "k": {}}, span=span))
+            assert reply.kind == "__result__"
+            parts.append(reply.payload)
+        assert np.array_equal(np.concatenate(parts, axis=1), full)
+        system.close()
+
+    def test_agg_span_frames_ship_sliced_z(self):
+        system = build("local")
+        server = system.servers[0]
+        adapter = ServerAdapter(server)
+        rng = np.random.default_rng(11)
+        z = rng.integers(0, 1 << 20, size=(2, 8), dtype=np.int64)
+        full = server.aggregate_round_batch(["amt", "amt"], z)
+        parts = []
+        for span in ((0, 4), (4, 8)):
+            lo, hi = span
+            reply = adapter.dispatch(RpcMessage(
+                "aggregate_round_batch",
+                {"a": [["amt", "amt"], z[:, lo:hi], 1, None], "k": {}},
+                span=span))
+            assert reply.kind == "__result__"
+            parts.append(reply.payload)
+        assert np.array_equal(np.concatenate(parts, axis=1), full)
+        system.close()
+
+    @pytest.mark.parametrize("kind,payload,message", [
+        ("psu_round_batch", {"a": [["k"], [1, 2]], "k": {}},
+         "query_nonces must match"),
+        ("psu_round_batch", {"a": [["k"]], "k": {}}, "no query nonces"),
+        ("aggregate_round_batch", {"a": [["amt"]], "k": {}}, "no z matrix"),
+        ("aggregate_round_batch",
+         {"a": [["amt"], [[1, 2, 3]]], "k": {}}, "does not cover span"),
+        ("psi_round_batch", {"a": [[]], "k": {}}, "malformed"),
+    ])
+    def test_malformed_span_requests_rejected(self, kind, payload, message):
+        system = build("local")
+        adapter = ServerAdapter(system.servers[0])
+        reply = adapter.dispatch(RpcMessage(kind, payload, span=(0, 4)))
+        assert reply.kind == "__error__"
+        assert message in reply.payload["message"]
+        system.close()
+
+    def test_span_beyond_sweep_length_rejected(self):
+        system = build("local")
+        adapter = ServerAdapter(system.servers[0])
+        for kind, payload in [
+            ("psi_round_batch", {"a": [["k"]], "k": {}}),
+            ("psu_round_batch", {"a": [["k"], [1]], "k": {}}),
+        ]:
+            reply = adapter.dispatch(RpcMessage(kind, payload, span=(0, 99)))
+            assert reply.kind == "__error__"
+            assert "exceeds sweep length" in reply.payload["message"]
+        system.close()
+
+
+# -- the host loop, served in-process -----------------------------------------
+
+
+class TestHostServing:
+    """`serve_tcp` driven by a thread: bootstrap handshake, error
+    frames, client-death resilience, and shutdown — the very loop the
+    forked hosts run, exercised in-process."""
+
+    @pytest.fixture()
+    def served_host(self):
+        import threading
+
+        from repro.network.host import serve_tcp
+
+        ports: list[int] = []
+        ready = threading.Event()
+
+        def announce(line, flush=True):
+            ports.append(int(line.split()[1]))
+            ready.set()
+
+        thread = threading.Thread(target=serve_tcp, args=(0,),
+                                  kwargs={"announce": announce}, daemon=True)
+        thread.start()
+        assert ready.wait(5)
+        yield ports[0], thread
+        if thread.is_alive():
+            from repro.network.dispatch import SocketChannel
+            SocketChannel.connect("127.0.0.1", ports[0]).shutdown_remote()
+            thread.join(timeout=5)
+        assert not thread.is_alive()
+
+    def test_bootstrap_and_kernel_cycle(self, served_host):
+        from repro.network.dispatch import SocketChannel
+        from repro.network.rpc import CONSTRUCT, server_params_to_wire
+
+        port, _ = served_host
+        system = build("local")
+        channel = SocketChannel.connect("127.0.0.1", port)
+        # Kernel requests before construction fail typed, never hang.
+        with pytest.raises(ProtocolError, match="no entity constructed"):
+            channel.call("owners_with", "k")
+        params = system.initiator.server_params(0)
+        reply = channel.send(RpcMessage(CONSTRUCT, {
+            "entity": "server", "index": 0,
+            "params": server_params_to_wire(params),
+            "server_class": None, "kwargs": {}}))
+        assert reply.payload["index"] == 0
+        proxy = RemoteServer(0, params, channel)
+        assert proxy.ping()["entity"] == "server"
+        # Ship the local twin's shares, then sweep remotely — sharded,
+        # so the host builds its local plan from the shipped count.
+        local = system.servers[0]
+        for owner_id in range(3):
+            stored = local.store.get(owner_id, "k")
+            proxy.receive_shares(owner_id, "k", stored.values, stored.kind)
+        from repro.core.sharding import ShardPlan
+        out = proxy.psi_round_batch(["k"], shard_plan=ShardPlan(2))
+        assert np.array_equal(out, local.psi_round_batch(["k"]))
+        channel.close()
+        system.close()
+
+    def test_construct_payload_validation(self, served_host):
+        from repro.network.dispatch import SocketChannel
+        from repro.network.rpc import CONSTRUCT
+
+        port, _ = served_host
+        channel = SocketChannel.connect("127.0.0.1", port)
+        for payload, message in [
+            (None, "must be a dict"),
+            ({"entity": "owner"}, "cannot host entity kind"),
+            ({"entity": "server", "index": 0, "params": {},
+              "server_class": "os.system"}, "outside the repro package"),
+            ({"entity": "server", "index": 0, "params": {},
+              "server_class": "repro.missing.X"}, "cannot import"),
+            ({"entity": "server", "index": 0, "params": {},
+              "server_class": "repro.network.host.EntityHost"},
+             "not a PrismServer subclass"),
+        ]:
+            with pytest.raises(ProtocolError, match=message):
+                channel.send(RpcMessage(CONSTRUCT, payload))
+        channel.close()
+
+    def test_host_survives_bad_frames_and_dead_clients(self, served_host):
+        import socket as socket_module
+
+        from repro.network.codec import FULL_SPAN, decode_frame, encode_frame
+        from repro.network.rpc import PING, recv_frame, send_frame
+
+        port, _ = served_host
+        # An undecodable request earns a cid-0 error frame; the
+        # connection keeps serving.
+        conn = socket_module.create_connection(("127.0.0.1", port))
+        send_frame(conn, b"this is not a frame")
+        frame = decode_frame(recv_frame(conn))
+        assert frame.kind == "__error__"
+        assert frame.correlation_id == 0
+        # Dying mid-frame must not take the host down ...
+        conn.sendall(b"\x10\x00")
+        conn.close()
+        # ... the next connection is served as if nothing happened.
+        conn = socket_module.create_connection(("127.0.0.1", port))
+        send_frame(conn, encode_frame(PING, 7, FULL_SPAN, None))
+        frame = decode_frame(recv_frame(conn))
+        assert frame.correlation_id == 7
+        conn.close()
+
+    def test_shutdown_request_stops_the_host(self, served_host):
+        from repro.network.dispatch import SocketChannel
+
+        port, thread = served_host
+        SocketChannel.connect("127.0.0.1", port).shutdown_remote()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+    def test_adapter_for_rejects_unknown_entities(self):
+        from repro.network.host import adapter_for
+
+        with pytest.raises(ProtocolError, match="no host adapter"):
+            adapter_for(object())

@@ -1,0 +1,236 @@
+"""Multi-host equivalence + fault matrix: kind × shards × pool size.
+
+The acceptance bar of the async multi-host dispatcher: every batchable
+Table-4 kind (PSI/PSU membership, counts, sums, averages — verified
+where supported) and every interactive kind (MAX verified and not,
+MIN, MEDIAN, bucketized PSI) produces **bit-identical** results to the
+seed single-shard in-process run for every ``num_shards ∈ {1, 2, 7}``
+crossed with every host-pool size ``∈ {1, 2, 3}`` per server role,
+with the channel counters proving the fused sweeps genuinely fanned
+out as concurrent span frames across the pool.
+
+The fault half of the matrix: a pool member killed or hung mid-sweep
+fails the query with a typed :class:`~repro.exceptions.QueryError`
+naming the member — no deadlock, no partial result — and a malicious
+server hosted *by a pool* is still detected by verification.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro import Domain, PrismSystem, QueryError, Relation, VerificationError
+from repro.entities import remote
+from repro.entities.adversary import InjectFakeServer, SkipCellsServer
+from repro.network.host import launch_forked_pools, pools_spec
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not fork_available, reason="fork-based entity hosts unavailable")
+
+SHARD_COUNTS = [1, 2, 7]
+POOL_SIZES = [1, 2, 3]
+
+
+def relations():
+    return [
+        Relation("a", {"k": [1, 2, 3], "amt": [10, 20, 30]}),
+        Relation("b", {"k": [2, 3, 4], "amt": [1, 2, 3]}),
+        Relation("c", {"k": [2, 3, 5], "amt": [5, 6, 7]}),
+    ]
+
+
+def build(deployment="local", num_shards=1, **kwargs):
+    return PrismSystem.build(
+        relations(), Domain.integer_range("k", 16), "k",
+        agg_attributes=("amt",), with_verification=True, seed=3,
+        deployment=deployment, num_shards=num_shards, **kwargs)
+
+
+def run_batchable(system) -> dict:
+    """One query per batchable kind, verified where supported.
+
+    Fixed order so nonce and blinding streams advance identically
+    everywhere — results must match the seed run bit for bit.
+    """
+    psi = system.psi("k", verify=True, querier=0)
+    psu = system.psu("k", verify=True, querier=0)
+    sums = system.psi_sum("k", ("amt",), verify=True, querier=0)["amt"]
+    avg = system.psi_average("k", ("amt",), querier=0)["amt"]
+    psu_sums = system.psu_sum("k", ("amt",), querier=0)["amt"]
+    return {
+        "psi": psi.membership.tolist(),
+        "psi_values": sorted(psi.values),
+        "psi_verified": psi.verified,
+        "psu": psu.membership.tolist(),
+        "psu_verified": psu.verified,
+        "psi_count": system.psi_count("k", verify=True, querier=0).count,
+        "psu_count": system.psu_count("k", querier=0).count,
+        "psi_sum": sums.per_value,
+        "psi_sum_verified": sums.verified,
+        "psi_average": avg.per_value,
+        "psu_sum": psu_sums.per_value,
+    }
+
+
+def run_interactive(system) -> dict:
+    """One query per interactive kind, verified where supported."""
+    verified_max = system.psi_max("k", "amt", verify=True)
+    min_result = system.psi_min("k", "amt")
+    median = system.psi_median("k", "amt")
+    system.outsource_bucketized("k", fanout=2)
+    bucket_result, _ = system.bucketized_psi("k")
+    return {
+        "max": verified_max.per_value,
+        "max_holders": verified_max.holders,
+        "min": min_result.per_value,
+        "min_holders": min_result.holders,
+        "median": median.per_value,
+        "bucket_values": sorted(bucket_result.values),
+        "bucket_membership": bucket_result.membership.tolist(),
+    }
+
+
+@pytest.fixture(scope="module")
+def expected():
+    """The seed result: single shard, in-process."""
+    with build() as system:
+        return {"batch": run_batchable(system),
+                "interactive": run_interactive(system)}
+
+
+@pytest.fixture(scope="module", params=POOL_SIZES)
+def pooled_hosts(request):
+    """One pool of ``param`` replica hosts per server role."""
+    if not fork_available:
+        pytest.skip("fork-based entity hosts unavailable")
+    pools, processes = launch_forked_pools([request.param] * 3)
+    yield request.param, pools_spec(pools)
+    for process in processes:
+        process.terminate()
+    for process in processes:
+        process.join(timeout=10)
+
+
+@pytest.fixture
+def eager_spans(monkeypatch):
+    """Span fan-out at toy sizes (the floor is tuned for real sweeps)."""
+    monkeypatch.setattr(remote, "SPAN_DISPATCH_MIN_CELLS", 1)
+
+
+# -- the equivalence matrix ---------------------------------------------------
+
+
+@needs_fork
+class TestMultiHostMatrix:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_bit_identical(self, pooled_hosts, expected, eager_spans,
+                           num_shards):
+        pool_size, spec = pooled_hosts
+        with build(spec, num_shards=num_shards) as system:
+            assert run_batchable(system) == expected["batch"]
+            assert run_interactive(system) == expected["interactive"]
+            for channel in system._channels:
+                stats = channel.stats
+                assert stats.get("fan_out", 1) == pool_size
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_sweeps_fan_out_as_concurrent_span_frames(
+            self, pooled_hosts, expected, eager_spans, num_shards):
+        """Pools serve fused sweeps as scattered span frames.
+
+        Each pooled channel must report scattered span frames — at
+        least the pool size per sweep, i.e. the spans were issued
+        together across members rather than swept whole on one — and
+        every member must have served traffic (round-robin scatter
+        leaves nobody idle).
+        """
+        pool_size, spec = pooled_hosts
+        if pool_size == 1:
+            pytest.skip("single-member pools use the plain socket channel")
+        with build(spec, num_shards=num_shards) as system:
+            assert run_batchable(system) == expected["batch"]
+            for channel in system._channels:
+                stats = channel.stats
+                assert stats["scattered_frames"] >= pool_size
+                assert all(member["requests"] > 0
+                           for member in stats["members"])
+
+    def test_mixed_pool_sizes_per_role(self, expected, eager_spans):
+        """Roles may have differently sized pools in one deployment."""
+        pools, processes = launch_forked_pools([2, 1, 3])
+        try:
+            with build(pools_spec(pools), num_shards=2) as system:
+                assert run_batchable(system) == expected["batch"]
+                assert [c.stats.get("fan_out", 1)
+                        for c in system._channels] == [2, 1, 3]
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join(timeout=10)
+
+
+# -- the fault matrix ---------------------------------------------------------
+
+
+@needs_fork
+class TestPoolFaults:
+    def test_killed_member_fails_query_cleanly(self, expected, eager_spans):
+        """SIGKILL one pool host mid-sweep → typed QueryError, no hang."""
+        pools, processes = launch_forked_pools([2, 1, 1])
+        try:
+            with build(pools_spec(pools)) as system:
+                assert run_batchable(system) == expected["batch"]
+                victim = processes[0]  # member of server 0's pool
+                victim.kill()
+                victim.join(timeout=10)
+                # Round-robin scatter guarantees the dead member is
+                # addressed; the EOF fails the query with the member's
+                # name instead of deadlocking or returning part rows.
+                with pytest.raises(QueryError, match="server pool member"):
+                    system.psi("k", querier=0)
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join(timeout=10)
+
+    def test_hung_member_times_out(self, expected, eager_spans):
+        """SIGSTOP one pool host → rpc_timeout fires a typed QueryError."""
+        pools, processes = launch_forked_pools([2, 1, 1])
+        try:
+            with build(pools_spec(pools), rpc_timeout=2.0) as system:
+                assert system.psi("k", querier=0).membership is not None
+                os.kill(processes[0].pid, signal.SIGSTOP)
+                try:
+                    with pytest.raises(QueryError,
+                                       match="server pool member"):
+                        system.psi("k", querier=0)
+                finally:
+                    os.kill(processes[0].pid, signal.SIGCONT)
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join(timeout=10)
+
+    @pytest.mark.parametrize("adversary", [SkipCellsServer, InjectFakeServer])
+    def test_malicious_pool_member_detected(self, adversary):
+        """A malicious server behind a pooled role is still caught."""
+        pools, processes = launch_forked_pools([1, 2, 1])
+        try:
+            with build(pools_spec(pools),
+                       server_factories={1: adversary}) as system:
+                assert not system.servers[1].span_dispatch
+                with pytest.raises(VerificationError):
+                    system.psi("k", verify=True, querier=0)
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join(timeout=10)
