@@ -1,0 +1,152 @@
+"""Gateway serving throughput and cross-client fusion vs session count.
+
+Not a paper artefact — this benchmark supports the multi-tenant serving
+gateway (:mod:`repro.serving`).  One resident gateway owns a single
+outsourced LineItem dataset (registered once, shared across tenants);
+``N`` concurrent client sessions — alternating between two tenants —
+each run the same mixed batchable workload through real sockets, and
+the report captures what multi-client serving buys:
+
+* ``queries_per_sec`` — end-to-end throughput across all sessions;
+* ``fusion_ratio`` — mean queries per batch tick of the dataset's
+  coalescing scheduler (1.0 = no cross-client fusion; the acceptance
+  bar is > 1.5 at 16 clients);
+* ``rows_deduplicated`` — χ rows the fused plan skipped because
+  concurrent sessions asked for the same sweep.
+
+Run as a script (the CI smoke uses a tiny domain)::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py \
+        --domain 2000 --queries 12 --clients 1,4,16 --out BENCH_gateway.json
+
+Expected shape: one client serializes its queries, so its ratio sits
+near 1; at 16 clients the 2 ms coalesce window catches most concurrent
+arrivals and the ratio climbs well past the bar, while throughput rises
+despite every query crossing a socket — the fused tick amortizes the
+server sweeps exactly as §8's batch experiments do in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+from repro.bench.harness import generate_fleet, lineitem_domain
+from repro.serving import Gateway, GatewayClient
+
+TENANTS = {"tok-alpha": "alpha", "tok-beta": "beta"}
+DATASET = "alpha/lineitem"
+
+WORKLOAD = [
+    {"kind": "psi", "attribute": "OK"},
+    {"kind": "psu", "attribute": "OK"},
+    {"kind": "psi_count", "attribute": "OK"},
+    {"kind": "psu_count", "attribute": "OK"},
+    {"kind": "psi_sum", "attribute": "OK", "agg_attributes": ("DT",)},
+    {"kind": "psi_average", "attribute": "OK", "agg_attributes": ("DT",)},
+]
+
+
+def run_clients(port: int, num_clients: int, queries_each: int) -> float:
+    """Drive ``num_clients`` concurrent sessions; returns wall seconds."""
+    barrier = threading.Barrier(num_clients + 1)
+    errors: list = []
+
+    def session(worker: int) -> None:
+        token = "tok-alpha" if worker % 2 == 0 else "tok-beta"
+        try:
+            with GatewayClient("127.0.0.1", port, token,
+                               dataset=DATASET) as client:
+                barrier.wait(timeout=60)
+                for index in range(queries_each):
+                    client.execute(dict(WORKLOAD[index % len(WORKLOAD)]))
+        except Exception as exc:  # pragma: no cover - reported below
+            errors.append((worker, exc))
+            barrier.abort()
+
+    threads = [threading.Thread(target=session, args=(i,))
+               for i in range(num_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)  # all sessions connected: start the clock
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise RuntimeError(f"client sessions failed: {errors}")
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--domain", type=int, default=5_000,
+                        help="χ length b (default: 5000)")
+    parser.add_argument("--owners", type=int, default=3)
+    parser.add_argument("--queries", type=int, default=18,
+                        help="queries per client session")
+    parser.add_argument("--clients", default="1,4,16",
+                        help="comma-separated session counts")
+    parser.add_argument("--out", default="BENCH_gateway.json")
+    args = parser.parse_args(argv)
+    client_axis = [int(c) for c in args.clients.split(",") if c.strip()]
+
+    domain = lineitem_domain(args.domain)
+    rows = max(64, args.domain // 10)
+    relations = generate_fleet(args.owners, domain, rows, seed=7)
+
+    gateway = Gateway(TENANTS).start()
+    print(f"gateway serving at b={args.domain}, {args.owners} owners, "
+          f"{args.queries} queries/session, clients axis {client_axis}")
+    reports: dict[str, dict] = {}
+    try:
+        dataset = gateway.register_dataset(
+            "alpha", "lineitem", relations, domain, "OK",
+            agg_attributes=("DT",), seed=7, shared=True,
+            value_bound=100_000)
+        for num_clients in client_axis:
+            before = dataset.stats
+            seconds = run_clients(gateway.port, num_clients, args.queries)
+            after = dataset.stats
+            submitted = (after["scheduler"]["submitted"]
+                         - before["scheduler"]["submitted"])
+            ticks = after["scheduler"]["ticks"] - before["scheduler"]["ticks"]
+            deduplicated = (after["fusion"]["rows_deduplicated"]
+                            - before["fusion"]["rows_deduplicated"])
+            report = {
+                "seconds": seconds,
+                "queries": submitted,
+                "queries_per_sec": submitted / seconds,
+                "batch_ticks": ticks,
+                "fusion_ratio": submitted / max(1, ticks),
+                "rows_deduplicated": deduplicated,
+                "max_coalesced": after["scheduler"]["max_coalesced"],
+            }
+            reports[str(num_clients)] = report
+            print(f"  {num_clients:3d} clients  "
+                  f"{report['queries_per_sec']:8.1f} q/s  "
+                  f"{report['fusion_ratio']:5.2f} queries/tick  "
+                  f"{report['rows_deduplicated']:>8d} rows deduped")
+    finally:
+        gateway.shutdown()
+
+    out = {
+        "b": args.domain,
+        "num_owners": args.owners,
+        "cpu_count": os.cpu_count(),
+        "queries_per_client": args.queries,
+        "tenants": sorted(set(TENANTS.values())),
+        "clients": reports,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(out, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

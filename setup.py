@@ -37,6 +37,7 @@ setup(
         "console_scripts": [
             "repro-bench=repro.bench.__main__:main",
             "repro-entity-host=repro.network.host:main",
+            "repro-gateway=repro.serving.gateway:main",
         ],
     },
     classifiers=[

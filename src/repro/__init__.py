@@ -41,6 +41,8 @@ from repro.data.csv_io import read_relation_csv, write_relation_csv
 from repro.data.domain import Domain, HashedDomain, ProductDomain
 from repro.data.relation import Relation
 from repro.exceptions import (
+    AdmissionError,
+    AuthError,
     DomainError,
     ParameterError,
     PrismError,
@@ -50,17 +52,22 @@ from repro.exceptions import (
     VerificationError,
 )
 from repro.network.rpc import Deployment
+from repro.serving import Gateway, GatewayClient
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "AggregateResult",
+    "AuthError",
     "BatchQuery",
     "CountResult",
     "Deployment",
     "Domain",
     "DomainError",
     "Executor",
+    "Gateway",
+    "GatewayClient",
     "HashedDomain",
     "ExtremaResult",
     "LogicalPlan",

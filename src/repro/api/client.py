@@ -122,6 +122,8 @@ class PrismClient:
         self._by_kind: dict[str, int] = {}
         self._batched_units = 0
         self._interactive_units = 0
+        self._fused_rows = 0
+        self._rows_deduplicated = 0
         self._traffic_bytes = 0
         self._traffic_messages = 0
         # Scheduler state: one session-wide execution lock (the executor
@@ -516,6 +518,8 @@ class PrismClient:
             "by_kind": dict(self._by_kind),
             "batched_units": self._batched_units,
             "interactive_units": self._interactive_units,
+            "fusion": {"fused_rows": self._fused_rows,
+                       "rows_deduplicated": self._rows_deduplicated},
             "traffic": {"messages": self._traffic_messages,
                         "bytes": self._traffic_bytes},
             "cache": dict(cache.stats) if cache is not None else {},
@@ -554,4 +558,6 @@ class _Accounting:
             dispatch = client.executor.last_dispatch
             client._batched_units += dispatch["batched_units"]
             client._interactive_units += dispatch["interactive_units"]
+            client._fused_rows += dispatch.get("fused_rows", 0)
+            client._rows_deduplicated += dispatch.get("rows_deduplicated", 0)
         return False

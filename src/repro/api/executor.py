@@ -101,7 +101,8 @@ class Executor:
         self.system = system
         self.planner = planner or Planner()
         #: Routing counters of the most recent run (for session stats).
-        self.last_dispatch = {"batched_units": 0, "interactive_units": 0}
+        self.last_dispatch = {"batched_units": 0, "interactive_units": 0,
+                              "fused_rows": 0, "rows_deduplicated": 0}
 
     # -- public surface -------------------------------------------------------
 
@@ -242,12 +243,20 @@ class Executor:
                 f"has no interactive units to forward them to"
             )
         batch_results: list = []
+        fusion = {"fused_rows": 0, "rows_deduplicated": 0}
         if batch_specs:
-            batch_results = QueryBatch(
-                self.system, batch_specs, num_threads=num_threads,
-                num_shards=num_shards).execute()
+            batch = QueryBatch(self.system, batch_specs,
+                               num_threads=num_threads,
+                               num_shards=num_shards)
+            batch_results = batch.execute()
+            plan_stats = batch.stats.get("plan", {})
+            fusion = {
+                "fused_rows": plan_stats.get("fused_rows", 0),
+                "rows_deduplicated": plan_stats.get("rows_deduplicated", 0),
+            }
         self.last_dispatch = {"batched_units": len(batch_specs),
-                              "interactive_units": interactive_total}
+                              "interactive_units": interactive_total,
+                              **fusion}
         results = []
         for plan, entries in zip(plans, layouts):
             unit_results = []

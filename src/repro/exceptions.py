@@ -52,3 +52,30 @@ class DomainError(PrismError):
 
 class QueryError(PrismError):
     """A high-level query is malformed or references unknown attributes."""
+
+
+class AuthError(PrismError):
+    """A request failed the serving gateway's tenancy checks.
+
+    Raised for unknown bearer tokens, requests issued before a session
+    authenticated, and cross-tenant access to a dataset the requesting
+    tenant does not own and was not granted.  Enforced in the gateway's
+    dispatch layer (:mod:`repro.serving.gateway`), never in individual
+    handlers, and round-tripped through the wire codec so a remote
+    rejection surfaces client-side as this same type.
+    """
+
+
+class AdmissionError(PrismError):
+    """The serving gateway refused to admit a request.
+
+    Raised when a tenant's token bucket is empty (rate limit) or the
+    gateway's bounded in-flight queue is full — a typed, immediate
+    rejection instead of a silent drop or unbounded queueing.  Carries
+    ``retry_after`` (seconds until the token bucket would admit the
+    request again) when the rejection came from a rate limit.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -54,6 +54,24 @@ FRAME_MAGIC = 0x5B
 #: The shard span meaning "the whole sweep" (no span scoping).
 FULL_SPAN = (-1, -1)
 
+#: The session/gateway message namespace.  Frame kinds carrying this
+#: prefix are reserved for the multi-tenant serving gateway's session
+#: protocol (:mod:`repro.serving`) — hello/register/query/stats/...
+#: travel in the same framed envelope as entity RPCs, but an entity
+#: host must never dispatch them onto a hosted entity (and the gateway
+#: must never forward an un-prefixed kind into its session surface).
+GATEWAY_PREFIX = "gw:"
+
+
+def gateway_kind(name: str) -> str:
+    """The namespaced frame kind of one gateway session message."""
+    return GATEWAY_PREFIX + name
+
+
+def is_gateway_kind(kind: str) -> bool:
+    """Whether a frame kind belongs to the gateway session namespace."""
+    return kind.startswith(GATEWAY_PREFIX)
+
 _TAG_VECTOR = 1
 _TAG_BIGINT = 2
 _TAG_LIST = 3

@@ -29,8 +29,10 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import signal
 import socket
 import sys
+import threading
 
 from repro.core.sharding import ShardPlan, compute_sweep_span
 from repro.data.storage import ShareKind
@@ -432,40 +434,111 @@ def child_serve(sock: socket.socket, entity_factory) -> None:
             pass
 
 
-def serve_listener(listener: socket.socket) -> None:
-    """Accept connections until a client requests shutdown.
+class GracefulShutdown:
+    """Signal-driven drain for a serving loop: finish, reply, exit.
+
+    SIGTERM/SIGINT must not abort an in-flight request mid-compute or
+    orphan a reply.  The handler never raises into the serving code;
+    it sets a flag and *shuts the read side* of every tracked socket —
+    a blocked ``accept``/``recv`` wakes with EOF, the request already
+    being served finishes and its reply still sends (the write side
+    stays open), and the loop then sees :attr:`requested` and returns.
+    """
+
+    def __init__(self):
+        self.requested = threading.Event()
+        self._lock = threading.Lock()
+        self._sockets: list[tuple[socket.socket, bool]] = []
+
+    def install(self) -> "GracefulShutdown":
+        """Hook SIGTERM/SIGINT (no-op off the main thread)."""
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(signum, self._handle)
+            except ValueError:
+                break  # not the main thread: caller keeps its handlers
+        return self
+
+    def track(self, sock: socket.socket, listener: bool = False) -> None:
+        with self._lock:
+            self._sockets.append((sock, listener))
+
+    def untrack(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._sockets = [(s, l) for s, l in self._sockets if s is not sock]
+
+    def _handle(self, signum, _frame) -> None:
+        self.requested.set()
+        with self._lock:
+            sockets = list(self._sockets)
+        for sock, listener in sockets:
+            try:
+                if listener:
+                    # SHUT_RD is ENOTCONN on a listening socket; close it
+                    # so the EINTR-retried accept raises instead of
+                    # re-blocking (PEP 475).
+                    sock.close()
+                else:
+                    sock.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+
+
+def serve_listener(listener: socket.socket,
+                   graceful: GracefulShutdown | None = None) -> None:
+    """Accept connections until a client or a signal requests shutdown.
 
     A misbehaving or killed *client* (mid-frame EOF, broken pipe) must
     not take the host down — the host keeps serving the next
-    connection; only an explicit ``__shutdown__`` ends the process.
+    connection; only an explicit ``__shutdown__`` (or SIGTERM/SIGINT
+    via ``graceful``, which drains the in-flight request first) ends
+    the process.
     """
     host = EntityHost()
+    if graceful is not None:
+        graceful.track(listener, listener=True)
     while True:
-        conn, _ = listener.accept()
+        if graceful is not None and graceful.requested.is_set():
+            return
+        try:
+            conn, _ = listener.accept()
+        except OSError:
+            if graceful is not None and graceful.requested.is_set():
+                return
+            raise
         with conn:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if graceful is not None:
+                graceful.track(conn)
             try:
                 if not host.serve_stream(conn):
                     return
             except (ProtocolError, OSError) as exc:
                 print(f"entity host: dropping connection: {exc}",
                       file=sys.stderr, flush=True)
+            finally:
+                if graceful is not None:
+                    graceful.untrack(conn)
 
 
-def serve_tcp(port: int, host: str = "127.0.0.1", announce=print) -> None:
+def serve_tcp(port: int, host: str = "127.0.0.1", announce=print,
+              graceful: bool = True) -> None:
     """Bind, announce ``LISTENING <port>``, and serve until shutdown.
 
     ``port=0`` picks an ephemeral port — the announcement line is how
     launchers (the CI smoke, ``examples/distributed_serving.py``)
-    discover it.
+    discover it.  With ``graceful`` (and on the main thread) SIGTERM /
+    SIGINT drain the in-flight request and exit cleanly instead of
+    killing the process mid-reply.
     """
+    shutdown = GracefulShutdown().install() if graceful else None
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as listener:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((host, port))
         listener.listen()
         if announce is not None:
             announce(f"LISTENING {listener.getsockname()[1]}", flush=True)
-        serve_listener(listener)
+        serve_listener(listener, shutdown)
 
 
 def launch_forked_hosts(count: int = 3, host: str = "127.0.0.1"):
@@ -530,14 +603,20 @@ def pools_spec(pools) -> str:
 
 
 def _serve_announced(host: str, sender) -> None:
-    """Child entry: bind port 0, report the assigned port, then serve."""
+    """Child entry: bind port 0, report the assigned port, then serve.
+
+    The child installs its own drain handlers, so a launcher's
+    ``terminate()`` (SIGTERM) lets an in-flight request finish and
+    reply before the process exits — never a mid-frame corpse.
+    """
+    shutdown = GracefulShutdown().install()
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as listener:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((host, 0))
         listener.listen()
         sender.send(listener.getsockname()[1])
         sender.close()
-        serve_listener(listener)
+        serve_listener(listener, shutdown)
 
 
 def main(argv=None) -> int:

@@ -223,7 +223,11 @@ def _remote_exception(payload) -> Exception:
     message = str(payload.get("message", ""))
     cls = getattr(_exceptions, name, None)
     if isinstance(cls, type) and issubclass(cls, _exceptions.PrismError):
-        return cls(message)
+        exc = cls(message)
+        retry_after = payload.get("retry_after")
+        if retry_after is not None and hasattr(exc, "retry_after"):
+            exc.retry_after = float(retry_after)
+        return exc
     return ProtocolError(f"remote {name}: {message}")
 
 

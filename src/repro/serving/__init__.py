@@ -1,0 +1,25 @@
+"""The multi-tenant serving gateway (PR 7).
+
+One resident :class:`~repro.serving.gateway.Gateway` process owns Prism
+deployments — datasets registered and outsourced once, queried many
+times by name — and serves many concurrent client sessions over the
+framed RPC wire, with per-tenant namespaces, token-bucket admission
+control, and cross-client query fusion.  :class:`GatewayClient` is the
+session-side mirror of :class:`~repro.api.client.PrismClient`.
+"""
+
+from repro.serving.admission import AdmissionController, TokenBucket
+from repro.serving.client import GatewayClient, GatewayFuture
+from repro.serving.gateway import Gateway
+from repro.serving.tenancy import Dataset, DatasetRegistry, TenantDirectory
+
+__all__ = [
+    "AdmissionController",
+    "Dataset",
+    "DatasetRegistry",
+    "Gateway",
+    "GatewayClient",
+    "GatewayFuture",
+    "TenantDirectory",
+    "TokenBucket",
+]

@@ -1,0 +1,169 @@
+"""Admission control for the serving gateway.
+
+Two independent guards, both enforced in the gateway's dispatch layer
+*before* a request reaches a handler or the coalescing scheduler:
+
+* **Per-tenant token buckets** (:class:`TokenBucket`) — each tenant
+  refills at ``rate`` requests/second up to a ``burst`` ceiling; an
+  empty bucket rejects immediately with a typed
+  :class:`~repro.exceptions.AdmissionError` carrying ``retry_after``.
+* **A bounded in-flight queue** (:class:`AdmissionController`) — the
+  gateway admits at most ``max_inflight`` concurrent queries across all
+  sessions; request ``max_inflight + 1`` is refused, not queued, so a
+  traffic spike can neither drop work silently nor grow memory without
+  bound (the coalescing scheduler's pending list is capped by the same
+  number).
+
+Every decision is counted (admitted / rate-limited / queue-full, per
+tenant), feeding the ``gw:stats`` surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import AdmissionError
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Thread-safe; time comes from :func:`time.monotonic`.  ``rate=None``
+    disables the limit (every acquire succeeds).
+    """
+
+    def __init__(self, rate: float | None, burst: float | None = None):
+        self.rate = None if rate is None else float(rate)
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self.burst = (float(burst) if burst is not None
+                      else (self.rate if self.rate is not None else 0.0))
+        self._tokens = self.burst
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> float | None:
+        """Take ``tokens`` if available; returns ``None`` on success.
+
+        On refusal returns the seconds until the bucket would admit the
+        request (the ``retry_after`` hint) without consuming anything.
+        """
+        if self.rate is None:
+            return None
+        now = time.monotonic()
+        with self._lock:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._updated) * self.rate)
+            self._updated = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return None
+            return (tokens - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """The gateway's combined rate-limit + in-flight-bound gate.
+
+    Args:
+        max_inflight: concurrent queries admitted across all sessions
+            (``None``: unbounded).
+        default_rate: per-tenant token refill rate in requests/second
+            (``None``: no rate limiting unless a tenant has an
+            override).
+        default_burst: per-tenant bucket capacity (``None``: the rate).
+        tenant_rates: per-tenant ``{tenant: rate}`` or
+            ``{tenant: (rate, burst)}`` overrides.
+    """
+
+    def __init__(self, max_inflight: int | None = None,
+                 default_rate: float | None = None,
+                 default_burst: float | None = None,
+                 tenant_rates: dict | None = None):
+        self.max_inflight = (None if max_inflight is None
+                             else max(0, int(max_inflight)))
+        self._default = (default_rate, default_burst)
+        self._overrides = dict(tenant_rates or {})
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self._rejected_rate = 0
+        self._rejected_queue = 0
+        self._admitted = 0
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        # Called under self._lock.
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            spec = self._overrides.get(tenant, self._default)
+            if not isinstance(spec, tuple):
+                spec = (spec, None)
+            bucket = TokenBucket(*spec)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str) -> None:
+        """Admit one request for ``tenant`` or raise.
+
+        Raises:
+            AdmissionError: the tenant's bucket is empty (carries
+                ``retry_after``) or the in-flight queue is full.  The
+                queue check runs first so an overloaded gateway never
+                burns a tenant's tokens on a request it cannot take.
+        """
+        with self._lock:
+            if (self.max_inflight is not None
+                    and self._inflight >= self.max_inflight):
+                self._rejected_queue += 1
+                raise AdmissionError(
+                    f"gateway in-flight queue is full "
+                    f"({self._inflight}/{self.max_inflight} queries in "
+                    f"flight); retry later")
+            retry_after = self._bucket(tenant).try_acquire()
+            if retry_after is not None:
+                self._rejected_rate += 1
+                raise AdmissionError(
+                    f"tenant {tenant!r} is over its rate limit; retry in "
+                    f"{retry_after:.3f}s", retry_after=retry_after)
+            self._inflight += 1
+            self._admitted += 1
+
+    def release(self) -> None:
+        """One admitted request finished (reply sent or failed)."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+            if self._inflight == 0:
+                self._drained.notify_all()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no admitted request is in flight.
+
+        Returns ``False`` when ``timeout`` elapsed first.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._lock:
+            while self._inflight:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._drained.wait(remaining)
+            return True
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "admitted": self._admitted,
+                "rejected_rate_limit": self._rejected_rate,
+                "rejected_queue_full": self._rejected_queue,
+            }

@@ -1,0 +1,206 @@
+"""The gateway-session client: PrismClient's surface over a socket.
+
+:class:`GatewayClient` mirrors the :class:`~repro.api.client.PrismClient`
+query surface — ``execute`` / ``execute_many`` / ``submit`` / ``explain``
+— but sends every call to a resident :class:`~repro.serving.gateway
+.Gateway` instead of owning a deployment.  Rich query forms lower to the
+:class:`~repro.api.plan.LogicalPlan` IR *client-side* (the same
+:class:`~repro.api.planner.Planner` a direct client uses), so the
+gateway executes exactly the plan the caller built; SQL travels
+verbatim.
+
+Transport is one multiplexed connection on the process-wide
+:class:`~repro.network.dispatch.DispatchLoop` — the same selector
+thread that drives TCP entity channels — so ``submit`` pipelines:
+requests go out immediately, replies route back by correlation id in
+whatever order the gateway finishes them, and many in-flight
+submissions from one client coalesce gateway-side just like
+submissions from many clients.
+
+Typed errors cross the socket: a tenancy violation raises
+:class:`~repro.exceptions.AuthError` here, over-limit traffic raises
+:class:`~repro.exceptions.AdmissionError` (with ``retry_after`` when
+the gateway provided one), exactly as if raised in-process.
+"""
+
+from __future__ import annotations
+
+from repro.api.planner import Planner
+from repro.api.sql import split_explain
+from repro.exceptions import QueryError
+from repro.network.dispatch import (
+    DispatchLoop,
+    _connect_retry,
+    _MuxConnection,
+)
+from repro.network.rpc import PING, RpcMessage
+from repro.serving import session as proto
+
+
+class GatewayFuture:
+    """Handle for one pipelined gateway query's eventual result."""
+
+    def __init__(self, pending, timeout: float | None = None):
+        self._pending = pending
+        self._timeout = timeout
+
+    def result(self, timeout: float | None = None):
+        """Block for the query result; raises what the gateway raised."""
+        reply = self._pending.result(
+            self._timeout if timeout is None else timeout)
+        return proto.result_from_wire(reply.payload)
+
+
+class GatewayClient:
+    """A tenant session against a running serving gateway.
+
+    Args:
+        host, port: the gateway's listen address.
+        token: bearer token identifying the tenant (see
+            :class:`~repro.serving.tenancy.TenantDirectory`).
+        dataset: default dataset reference for queries (a bare name in
+            this tenant's namespace, or ``"owner/name"``); any call may
+            override it.
+        connect_timeout: seconds to retry the TCP connect (the gateway
+            may still be booting).
+        request_timeout: per-request reply deadline (``None``: wait
+            forever — matching entity channels).
+    """
+
+    def __init__(self, host: str, port: int, token: str,
+                 dataset: str | None = None,
+                 connect_timeout: float = 10.0,
+                 request_timeout: float | None = None):
+        self.request_timeout = request_timeout
+        self.default_dataset = dataset
+        self.planner = Planner()
+        self._queries = 0
+        self._explains = 0
+        sock = _connect_retry(host, port, connect_timeout)
+        self._conn = _MuxConnection(sock, f"gateway {host}:{port}",
+                                    DispatchLoop.shared())
+        hello = self._call(proto.HELLO,
+                           {"token": token,
+                            "protocol": proto.PROTOCOL_VERSION})
+        #: The tenant this session authenticated as.
+        self.tenant = hello["tenant"]
+
+    # -- datasets -------------------------------------------------------------
+
+    def register(self, name: str, relations, domain, psi_attribute,
+                 agg_attributes=(), with_verification: bool = False,
+                 shared: bool = False, grants=(), seed: int = 0) -> dict:
+        """Outsource a named dataset into this tenant's namespace."""
+        return self._call(proto.REGISTER, {
+            "name": name,
+            "relations": proto.relations_to_wire(relations),
+            "domain": proto.domain_to_wire(domain),
+            "psi_attribute": psi_attribute,
+            "agg_attributes": list(agg_attributes),
+            "with_verification": with_verification,
+            "shared": shared,
+            "grants": list(grants),
+            "seed": seed,
+        })
+
+    def datasets(self) -> list:
+        """Dataset refs this tenant may query (own + shared/granted)."""
+        return list(self._call(proto.DATASETS, None))
+
+    # -- queries --------------------------------------------------------------
+
+    def submit(self, query, dataset: str | None = None,
+               num_threads: int | None = None,
+               num_shards: int | None = None) -> GatewayFuture:
+        """Pipeline one query; returns a future-like reply handle.
+
+        All submissions in flight at the gateway dataset's next drain
+        tick — this client's and every other session's — execute as one
+        fused batch.
+        """
+        payload = {"dataset": self._dataset(dataset),
+                   "query": proto.query_to_wire(query, self.planner)}
+        if num_threads is not None:
+            payload["num_threads"] = int(num_threads)
+        if num_shards is not None:
+            payload["num_shards"] = num_shards
+        pending = self._conn.request(RpcMessage(proto.QUERY, payload))
+        self._queries += 1
+        return GatewayFuture(pending, self.request_timeout)
+
+    def execute(self, query, dataset: str | None = None,
+                num_threads: int | None = None,
+                num_shards: int | None = None):
+        """Run one query of any supported form, blocking for its result.
+
+        SQL strings may carry an ``EXPLAIN`` prefix, in which case the
+        plan's description is returned and nothing executes — same
+        contract as :meth:`PrismClient.execute`.
+        """
+        if isinstance(query, str):
+            was_explain, rest = split_explain(query)
+            if was_explain:
+                return self.explain(rest, dataset=dataset)
+        return self.submit(query, dataset=dataset, num_threads=num_threads,
+                           num_shards=num_shards).result()
+
+    def execute_many(self, queries, dataset: str | None = None) -> list:
+        """Run many queries; all are pipelined before any reply is read."""
+        futures = [self.submit(query, dataset=dataset) for query in queries]
+        return [future.result() for future in futures]
+
+    def explain(self, query, dataset: str | None = None) -> str:
+        """The plan's description + dispatch routes, without executing."""
+        text = self._call(proto.EXPLAIN,
+                          {"dataset": self._dataset(dataset),
+                           "query": proto.query_to_wire(query,
+                                                        self.planner)})
+        self._explains += 1
+        return text
+
+    # -- ops surface ----------------------------------------------------------
+
+    def gateway_stats(self) -> dict:
+        """The gateway's ops counters: sessions, admission, tenants,
+        per-dataset scheduler/fusion stats."""
+        return self._call(proto.STATS, None)
+
+    def healthz(self) -> dict:
+        """The gateway's liveness report."""
+        return self._call(proto.HEALTHZ, None)
+
+    def ping(self) -> bool:
+        return self._call(PING, None) == "pong"
+
+    @property
+    def stats(self) -> dict:
+        """This session's local counters."""
+        return {"tenant": self.tenant, "queries": self._queries,
+                "explains": self._explains,
+                "transport": dict(self._conn.stats)}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _dataset(self, override: str | None) -> str:
+        dataset = override or self.default_dataset
+        if dataset is None:
+            raise QueryError(
+                "no dataset named: pass dataset= or set a default on the "
+                "client")
+        return str(dataset)
+
+    def _call(self, kind: str, payload):
+        reply = self._conn.request(RpcMessage(kind, payload)).result(
+            self.request_timeout)
+        return reply.payload
+
+    def close(self) -> None:
+        """Close the session connection (idempotent)."""
+        if not self._conn.closed:
+            self._conn.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.exceptions import (
+    AdmissionError,
+    AuthError,
     DomainError,
     ParameterError,
     PrismError,
@@ -18,7 +20,7 @@ MEDIAN_VERIFY_MESSAGE = "MEDIAN has no verification stream"
 class TestHierarchy:
     @pytest.mark.parametrize("exc", [
         ParameterError, ShareError, ProtocolError, VerificationError,
-        DomainError, QueryError,
+        DomainError, QueryError, AuthError, AdmissionError,
     ])
     def test_all_derive_from_prism_error(self, exc):
         assert issubclass(exc, PrismError)
@@ -48,6 +50,54 @@ class TestVerificationErrorPayload:
         err = VerificationError("bad", failed_cells=(1, 2))
         assert err.failed_cells == [1, 2]
         assert isinstance(err.failed_cells, list)
+
+
+class TestServingErrorPayloads:
+    def test_admission_error_carries_retry_after(self):
+        err = AdmissionError("slow down", retry_after=0.25)
+        assert err.retry_after == 0.25
+        assert "slow down" in str(err)
+
+    def test_admission_error_retry_after_optional(self):
+        assert AdmissionError("full").retry_after is None
+
+
+class TestServingWireRoundTrip:
+    """AuthError/AdmissionError cross the framed wire as themselves.
+
+    The gateway replies with the standard ``__error__`` frame; the
+    client side rebuilds the typed exception by name — the same
+    machinery entity channels use, so there is nothing session-specific
+    to get wrong.
+    """
+
+    @staticmethod
+    def _round_trip(exc):
+        from repro.network.codec import FULL_SPAN, decode_frame, encode_frame
+        from repro.network.rpc import ERROR, _remote_exception
+        payload = {"type": type(exc).__name__, "message": str(exc)}
+        if getattr(exc, "retry_after", None) is not None:
+            payload["retry_after"] = float(exc.retry_after)
+        frame = decode_frame(encode_frame(ERROR, 7, FULL_SPAN, payload))
+        assert frame.kind == ERROR
+        return _remote_exception(frame.payload)
+
+    def test_auth_error_round_trips(self):
+        rebuilt = self._round_trip(AuthError("tenant 'b' may not"))
+        assert type(rebuilt) is AuthError
+        assert "may not" in str(rebuilt)
+        assert isinstance(rebuilt, PrismError)
+
+    def test_admission_error_round_trips_with_retry_after(self):
+        rebuilt = self._round_trip(
+            AdmissionError("over limit", retry_after=1.5))
+        assert type(rebuilt) is AdmissionError
+        assert rebuilt.retry_after == 1.5
+
+    def test_admission_error_round_trips_without_retry_after(self):
+        rebuilt = self._round_trip(AdmissionError("queue full"))
+        assert type(rebuilt) is AdmissionError
+        assert rebuilt.retry_after is None
 
 
 class TestMedianVerifyRejection:
