@@ -44,6 +44,7 @@ from repro.exceptions import (
     AdmissionError,
     AuthError,
     DomainError,
+    GatewayDisconnected,
     ParameterError,
     PrismError,
     ProtocolError,
@@ -68,6 +69,7 @@ __all__ = [
     "Executor",
     "Gateway",
     "GatewayClient",
+    "GatewayDisconnected",
     "HashedDomain",
     "ExtremaResult",
     "LogicalPlan",

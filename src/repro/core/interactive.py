@@ -43,6 +43,8 @@ kernels, so — exactly like the fused batch engine (see
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.bucketized import BucketTree, level_column
@@ -65,7 +67,25 @@ class InteractiveProgram:
     ``run_*`` shims via :meth:`run` — calls :meth:`step` until
     :attr:`done`; cross-round state lives in the generator frame and on
     the program object, never inside a kernel-owned loop.
+
+    **Mid-round failover.**  Round state commits to the program object
+    only at the *end* of a round — after the last entity hand-off,
+    right before the ``yield`` — so a round that dies mid-flight with
+    :class:`~repro.network.dispatch.ConnectionLost` (a pool member
+    crashed faster than the dispatch layer could fail over) leaves no
+    partial state behind.  :meth:`step` then discards the generator and
+    the next step re-enters :meth:`_rounds`, which skips every
+    committed round and re-runs only the torn one.  Re-running is safe:
+    the server-side sweeps are idempotent reads of replicated state,
+    and blinding randomness is drawn fresh per round — the verify path
+    proves independent blindings recover identical values, which is
+    exactly why a re-blinded retry stays bit-identical in the fields
+    results compare.
     """
+
+    #: How many transport failures one program absorbs before the
+    #: failure surfaces (guards against a pool that never heals).
+    max_resumes = 3
 
     def __init__(self):
         self._generator = None
@@ -74,6 +94,8 @@ class InteractiveProgram:
         self._failed = False
         #: Rounds completed so far (scheduler stats / tests).
         self.rounds_completed = 0
+        #: Mid-round failovers absorbed so far (health / tests).
+        self.rounds_resumed = 0
 
     @property
     def done(self) -> bool:
@@ -87,6 +109,9 @@ class InteractiveProgram:
         :class:`~repro.exceptions.VerificationError`); a program whose
         round raised is poisoned — further stepping raises loudly
         instead of draining the dead generator into a ``None`` result.
+        The exception: a transport-level :class:`ConnectionLost` is
+        absorbed up to :attr:`max_resumes` times — the torn round is
+        re-entered on the next step (see the class docstring).
         """
         if self._done:
             raise ProtocolError("interactive program already finished")
@@ -99,11 +124,25 @@ class InteractiveProgram:
             next(self._generator)
         except StopIteration:
             self._done = True
-        except BaseException:
+        except BaseException as exc:
+            if self._resumable(exc):
+                self.rounds_resumed += 1
+                self._generator = None
+                # Give an ejected pool seat (or its supervisor) a beat
+                # before re-entering — resumes are capped, so a pool
+                # that heals in milliseconds must not burn them all.
+                time.sleep(min(0.1 * self.rounds_resumed, 0.5))
+                return
             self._failed = True
             raise
         else:
             self.rounds_completed += 1
+
+    def _resumable(self, exc: BaseException) -> bool:
+        if self.rounds_resumed >= self.max_resumes:
+            return False
+        from repro.network.dispatch import ConnectionLost
+        return isinstance(exc, ConnectionLost)
 
     def result(self):
         """The final result object (only after :attr:`done`)."""
@@ -250,6 +289,10 @@ class ExtremaProgram(InteractiveProgram):
         self.common_values = common_values
         self.shard_plan = shard_plan
         self.timings = PhaseTimings()
+        # Committed per-round state (survives a mid-round resume; a
+        # value present here is never re-run).
+        self._per_value: dict = {}
+        self._holders: dict = {}
 
     def _rounds(self):
         system = self.system
@@ -263,9 +306,11 @@ class ExtremaProgram(InteractiveProgram):
                 timings, self.querier)
             yield
 
-        per_value = {}
-        holders: dict = {}
+        per_value = self._per_value
+        holders = self._holders
         for value in self.common_values:
+            if value in per_value:
+                continue  # committed before a resume re-entered
             transport.begin_round(f"extrema-{kind}")
             server_shares, local_values = collect_blinded_shares(
                 system, owners, self.attribute, self.agg_attribute, value,
@@ -278,8 +323,7 @@ class ExtremaProgram(InteractiveProgram):
                 extremum = owners[self.querier].recover_extremum(v1, v2)
                 first_holder = owners[self.querier].recover_owner_identity(
                     i1, i2)
-            per_value[value] = extremum
-            holders[value] = [first_holder]
+            value_holders = [first_holder]
 
             if self.verify:
                 transport.begin_round(f"extrema-{kind}-verify")
@@ -319,7 +363,10 @@ class ExtremaProgram(InteractiveProgram):
                 with timings.measure("owner"):
                     flags = owners[self.querier].finalize_fpos(fpos[0],
                                                                fpos[1])
-                holders[value] = [i for i, f in enumerate(flags) if f == 1]
+                value_holders = [i for i, f in enumerate(flags) if f == 1]
+            # Commit point: every hand-off for this value succeeded.
+            per_value[value] = extremum
+            holders[value] = value_holders
             yield
 
         self._result = ExtremaResult(per_value=per_value, holders=holders,
@@ -350,6 +397,7 @@ class MedianProgram(InteractiveProgram):
         self.common_values = common_values
         self.shard_plan = shard_plan
         self.timings = PhaseTimings()
+        self._per_value: dict = {}
 
     def _rounds(self):
         system = self.system
@@ -362,8 +410,10 @@ class MedianProgram(InteractiveProgram):
                 timings, self.querier)
             yield
 
-        per_value = {}
+        per_value = self._per_value
         for value in self.common_values:
+            if value in per_value:
+                continue  # committed before a resume re-entered
             transport.begin_round("median")
             server_shares, _ = collect_blinded_shares(
                 system, owners, self.attribute, self.agg_attribute, value,
@@ -411,6 +461,16 @@ class BucketizedPsiProgram(InteractiveProgram):
         self.announcer_driven = announcer_driven
         self.shard_plan = shard_plan
         self.timings = PhaseTimings()
+        # Committed per-round cursor: which level runs next and which
+        # nodes are active there.  Counters commit with the cursor at
+        # each round's end, so a mid-round resume re-runs the torn
+        # level without double-counting it.
+        self._level = tree.top_level
+        self._active = np.arange(tree.level_sizes[tree.top_level],
+                                 dtype=np.int64)
+        self._actual_domain_size = 0
+        self._numbers_sent = 0
+        self._rounds_run = 0
 
     def _rounds(self):
         system = self.system
@@ -419,20 +479,14 @@ class BucketizedPsiProgram(InteractiveProgram):
         owner = system.owners[self.querier]
         timings = self.timings
 
-        actual_domain_size = 0
-        numbers_sent = 0
-        rounds = 0
-        active = np.arange(tree.level_sizes[tree.top_level], dtype=np.int64)
-
-        for level in range(tree.top_level, -1, -1):
-            if active.size == 0:
-                break
+        while self._level >= 0 and self._active.size:
+            level = self._level
+            active = self._active
             column = (psi_column_name(self.attribute) if level == 0
                       else level_column(self.attribute, level))
             transport.begin_round(f"bucketized-psi-L{level}")
-            rounds += 1
-            actual_domain_size += int(active.size)
             outputs = []
+            numbers_sent_round = 0
             route_to_announcer = self.announcer_driven and level > 0
             receivers = ([system.announcer.endpoint] if route_to_announcer
                          else [o.endpoint for o in system.owners])
@@ -444,7 +498,7 @@ class BucketizedPsiProgram(InteractiveProgram):
                 for receiver in receivers:
                     transport.transfer(server.endpoint, receiver,
                                        f"bucketized-output-L{level}", out)
-                numbers_sent += int(out.size)
+                numbers_sent_round += int(out.size)
                 outputs.append(out)
             if route_to_announcer:
                 with timings.measure("announcer"):
@@ -456,6 +510,10 @@ class BucketizedPsiProgram(InteractiveProgram):
                 with timings.measure("owner"):
                     fop = owner.finalize_psi(outputs[0], outputs[1])
                     common_nodes = active[fop == 1]
+            # Commit point: every hand-off for this level succeeded.
+            self._rounds_run += 1
+            self._actual_domain_size += int(active.size)
+            self._numbers_sent += numbers_sent_round
             if level == 0:
                 member = np.zeros(tree.level_sizes[0], dtype=bool)
                 member[common_nodes] = True
@@ -463,28 +521,28 @@ class BucketizedPsiProgram(InteractiveProgram):
                 result = SetResult(values=values, membership=member,
                                    timings=timings,
                                    traffic=transport.stats.summary())
-                stats = {
-                    "actual_domain_size": actual_domain_size,
-                    "numbers_sent": numbers_sent,
-                    "rounds": rounds,
-                    "flat_domain_size": tree.level_sizes[0],
-                }
-                self._result = (result, stats)
+                self._result = (result, self._level_stats())
+                self._level = -1
                 # Yield so the leaf round is counted like every other
                 # round (the generator finishes on the next step).
                 yield
                 return
-            active = tree.children_of(level, common_nodes)
+            self._active = tree.children_of(level, common_nodes)
+            self._level = level - 1
             yield
 
-        # No active nodes survived above the leaves: empty intersection.
-        member = np.zeros(tree.level_sizes[0], dtype=bool)
-        result = SetResult(values=[], membership=member, timings=timings,
-                           traffic=transport.stats.summary())
-        stats = {
-            "actual_domain_size": actual_domain_size,
-            "numbers_sent": numbers_sent,
-            "rounds": rounds,
-            "flat_domain_size": tree.level_sizes[0],
+        # No active nodes survived above the leaves: empty intersection
+        # (unless a resume re-entered after the leaf round committed).
+        if self._result is None:
+            member = np.zeros(tree.level_sizes[0], dtype=bool)
+            result = SetResult(values=[], membership=member, timings=timings,
+                               traffic=transport.stats.summary())
+            self._result = (result, self._level_stats())
+
+    def _level_stats(self) -> dict:
+        return {
+            "actual_domain_size": self._actual_domain_size,
+            "numbers_sent": self._numbers_sent,
+            "rounds": self._rounds_run,
+            "flat_domain_size": self.tree.level_sizes[0],
         }
-        self._result = (result, stats)

@@ -194,6 +194,9 @@ class PrismSystem:
                                    field_prime=field_prime,
                                    value_bound=value_bound)
         self.transport = LocalTransport(serialize=serialize_transport)
+        #: Optional :class:`~repro.network.supervisor.HostSupervisor`
+        #: (set by whoever forked the pools; closed with the system).
+        self.supervisor = None
         owner_params = self.initiator.owner_params()
         self.owners = [
             DBOwner(i, owner_params, relation=rel, seed=seed)
@@ -277,6 +280,8 @@ class PrismSystem:
                         host, port = pool[0]
                         channel = SocketChannel.connect(
                             host, port, request_timeout=self.rpc_timeout)
+                    if hasattr(channel, "on_event"):
+                        channel.on_event = self._pool_event
                     self._channels.append(channel)
                     channel.send(RpcMessage(CONSTRUCT, {
                         "entity": "server",
@@ -302,6 +307,10 @@ class PrismSystem:
             self._channels.clear()
             raise
         return servers
+
+    def _pool_event(self, event: str, member: str) -> None:
+        """Dispatch-layer health transitions → transport event counters."""
+        self.transport.stats.count_event(f"pool-{event}")
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -415,6 +424,11 @@ class PrismSystem:
         channels (subprocess children exit; TCP hosts keep running for
         the next client), after which the system can no longer query.
         """
+        if self.supervisor is not None:
+            # Stop the watch loop *before* closing channels: a respawn
+            # racing the teardown would resurrect a host we are about
+            # to orphan.
+            self.supervisor.close()
         if self._shard_runtime is not None:
             self._shard_runtime.close()
         for server in self.servers:
@@ -428,6 +442,30 @@ class PrismSystem:
                     # A dead channel must not block teardown of the rest.
         for channel in self._channels:
             channel.close()
+
+    def pool_health(self) -> dict:
+        """Aggregated liveness of the deployment's server-role pools.
+
+        ``ok`` while every member of every pool is up, ``degraded``
+        while any pool runs ejected members (queries still succeed via
+        failover), ``down`` when some pool has no live member at all.
+        Local/subprocess deployments — no pools — always report ``ok``.
+        """
+        pools = []
+        for channel in self._channels:
+            health = getattr(channel, "health", None)
+            pools.append(health() if callable(health) else {"status": "ok"})
+        statuses = [pool["status"] for pool in pools]
+        if any(status == "down" for status in statuses):
+            status = "down"
+        elif any(status != "ok" for status in statuses):
+            status = "degraded"
+        else:
+            status = "ok"
+        report = {"status": status, "pools": pools}
+        if self.supervisor is not None:
+            report["supervisor"] = self.supervisor.stats
+        return report
 
     def channel_stats(self) -> dict:
         """Wire accounting of a non-local deployment's channels.

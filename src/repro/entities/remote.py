@@ -410,6 +410,20 @@ class RemoteServer:
         from repro.network.rpc import PING, RpcMessage
         return self.channel.send(RpcMessage(PING)).payload
 
+    def healthy(self) -> bool:
+        """Whether the role currently answers its liveness probe.
+
+        Bounded by the channel's lifecycle/probe deadline (never the
+        session-wide ``rpc_timeout``), and never raises: a dead or
+        fully-ejected pool reports ``False``.
+        """
+        from repro.exceptions import ProtocolError, QueryError
+        try:
+            self.ping()
+        except (ProtocolError, QueryError, OSError):
+            return False
+        return True
+
     def close(self) -> None:
         """Quiesce the remote entity's execution pools (channel stays up)."""
         self.channel.call("close")

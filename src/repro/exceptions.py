@@ -79,3 +79,19 @@ class AdmissionError(PrismError):
     def __init__(self, message: str, retry_after: float | None = None):
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class GatewayDisconnected(ProtocolError):
+    """The serving gateway died (or dropped the session) mid-call.
+
+    A :class:`ProtocolError` so transport-level handlers keep working,
+    but typed so clients can distinguish "the *gateway* is gone —
+    reconnect/fail over" from a protocol violation inside a healthy
+    session.  Carries ``address`` — the last known ``host:port`` of the
+    gateway — so a caller (or its error reporter) knows *which* gateway
+    to re-dial without keeping its own bookkeeping.
+    """
+
+    def __init__(self, message: str, address: str | None = None):
+        super().__init__(message)
+        self.address = address

@@ -28,16 +28,22 @@ needs:
 
 Transport-level failures (EOF, reset, timeout) raise
 :class:`ConnectionLost` — a :class:`~repro.exceptions.ProtocolError`
-subclass, so existing handlers keep working — and a pool wraps them in
-a typed :class:`~repro.exceptions.QueryError` naming the failed member:
-a killed or hung pool host fails the query cleanly instead of
-deadlocking it or returning a partial result.
+subclass, so existing handlers keep working.  A *pooled* role
+self-heals instead of failing: reads and span sweeps are idempotent
+(every replica holds identical state because :data:`BROADCAST_KINDS`
+reach all members), so :class:`PooledChannel` retransmits a lost frame
+to a surviving member, ejects the dead one behind a circuit breaker
+with half-open probing (replaying the journaled state broadcasts into
+a rejoining host), and degrades down to any pool size ≥ 1 before
+surfacing a typed :class:`~repro.exceptions.QueryError` naming the
+exhausted pool.
 """
 
 from __future__ import annotations
 
 import collections
 import itertools
+import random
 import selectors
 import socket
 import threading
@@ -51,6 +57,7 @@ from repro.network.rpc import (
     CONSTRUCT,
     ERROR,
     MAX_FRAME_BYTES,
+    PING,
     RESULT,
     SHUTDOWN,
     _LENGTH,
@@ -71,8 +78,59 @@ class ConnectionLost(ProtocolError):
 #: lifecycle transitions.
 BROADCAST_KINDS = frozenset({CONSTRUCT, SHUTDOWN, "receive_shares", "close"})
 
+#: The state-*establishing* subset of the broadcasts: what a channel
+#: journals so a respawned or reconnecting pool member can be replayed
+#: back to the exact state of its replicas.  Lifecycle transitions
+#: (shutdown, close) are deliberately excluded — replaying them would
+#: tear a fresh member straight back down.
+JOURNAL_KINDS = frozenset({CONSTRUCT, "receive_shares"})
+
+#: Lifecycle / health kinds get their own short deadline: a liveness
+#: probe must answer in seconds even when sweeps are allowed minutes.
+LIFECYCLE_KINDS = frozenset({PING, SHUTDOWN, "close"})
+
+#: Default deadline for lifecycle kinds and rejoin verification pings.
+PROBE_TIMEOUT = 5.0
+
+#: How long a half-open probe or rejoin spends connecting to a member.
+PROBE_CONNECT_TIMEOUT = 0.5
+
+#: Circuit-breaker backoff for ejected pool members: first half-open
+#: probe after the base delay, doubling per failed probe up to the cap.
+EJECT_BACKOFF_BASE = 0.25
+EJECT_BACKOFF_CAP = 15.0
+
+#: Boot-connect retry backoff (exponential, full jitter, capped) — a
+#: 3-role × N-member boot must not thundering-herd a slow host.
+_CONNECT_BACKOFF_BASE = 0.01
+_CONNECT_BACKOFF_CAP = 1.0
+
 _RECV_CHUNK = 1 << 20
 _SEND_CHUNK = 1 << 18
+
+
+def _lifecycle_timeout(request_timeout: float | None,
+                       probe_timeout: float | None) -> float | None:
+    """The deadline for a lifecycle/probe RPC: the tighter of the two."""
+    candidates = [t for t in (request_timeout, probe_timeout)
+                  if t is not None]
+    return min(candidates) if candidates else None
+
+
+def _replay_journal(conn: "_MuxConnection", frames,
+                    timeout: float | None) -> None:
+    """Re-send journaled state broadcasts to one (re)joining member."""
+    for message in frames:
+        conn.request(message).result(timeout)
+
+
+def _parse_address(label: str) -> tuple[str, int]:
+    """``host:port`` out of a connection label (best effort)."""
+    host, _, port = label.rpartition(":")
+    try:
+        return (host or label), int(port)
+    except ValueError:
+        return label, 0
 
 
 class DispatchLoop:
@@ -443,10 +501,16 @@ class PendingReply:
 
 
 def _connect_retry(host: str, port: int, timeout: float) -> socket.socket:
-    """Connect with the boot-retry loop every TCP channel shares."""
+    """Connect with the boot-retry loop every TCP channel shares.
+
+    Retries with exponential backoff and full jitter (capped) so N
+    channels booting against the same slow host spread their attempts
+    instead of hammering it in lockstep.
+    """
     deadline = time.monotonic() + timeout
+    delay = _CONNECT_BACKOFF_BASE
     last_error: Exception | None = None
-    while time.monotonic() < deadline:
+    while True:
         try:
             sock = socket.create_connection((host, port), timeout=timeout)
             # The connect timeout must not persist: request pacing is
@@ -457,7 +521,11 @@ def _connect_retry(host: str, port: int, timeout: float) -> socket.socket:
             return sock
         except OSError as exc:
             last_error = exc
-            time.sleep(0.05)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(random.uniform(0, delay), remaining))
+            delay = min(delay * 2, _CONNECT_BACKOFF_CAP)
     raise ProtocolError(
         f"cannot reach entity host at {host}:{port}: {last_error}")
 
@@ -473,28 +541,45 @@ class SocketChannel(Channel):
     """
 
     def __init__(self, conn: _MuxConnection, address: tuple[str, int],
-                 request_timeout: float | None = None):
+                 request_timeout: float | None = None,
+                 probe_timeout: float | None = PROBE_TIMEOUT):
         self._conn = conn
         self.address = address
         self.request_timeout = request_timeout
+        self.probe_timeout = probe_timeout
+        #: State-establishing frames, in send order, for warm re-seed of
+        #: a supervisor-respawned host (see :meth:`rejoin`).
+        self.journal: list[RpcMessage] = []
 
     @classmethod
     def connect(cls, host: str, port: int, timeout: float = 10.0,
-                request_timeout: float | None = None) -> "SocketChannel":
+                request_timeout: float | None = None,
+                probe_timeout: float | None = PROBE_TIMEOUT,
+                ) -> "SocketChannel":
         """Connect, retrying until ``timeout`` (hosts may still be booting)."""
         sock = _connect_retry(host, port, timeout)
         conn = _MuxConnection(sock, f"{host}:{port}", DispatchLoop.shared())
-        return cls(conn, (host, port), request_timeout)
+        return cls(conn, (host, port), request_timeout, probe_timeout)
 
     @property
     def fan_out(self) -> int:
         return 1
 
+    @property
+    def closed(self) -> bool:
+        return self._conn.closed
+
     def send(self, message: RpcMessage) -> RpcMessage:
-        return self.send_async(message).result(self.request_timeout)
+        timeout = self.request_timeout
+        if message.kind in LIFECYCLE_KINDS:
+            timeout = _lifecycle_timeout(self.request_timeout,
+                                         self.probe_timeout)
+        return self.send_async(message).result(timeout)
 
     def send_async(self, message: RpcMessage) -> PendingReply:
         """Pipeline one request; returns immediately."""
+        if message.kind in JOURNAL_KINDS:
+            self.journal.append(message)
         return self._conn.request(message)
 
     def scatter(self, messages) -> list[RpcMessage]:
@@ -514,9 +599,103 @@ class SocketChannel(Channel):
         if not self._conn.closed:
             self._conn.close()
 
+    def rejoin(self, slot: int = 0, address: tuple[str, int] | None = None,
+               warm_from: int = 0,
+               connect_timeout: float = PROBE_CONNECT_TIMEOUT) -> None:
+        """Reconnect to a (respawned) host, replaying the journal.
+
+        A pool-of-one role has exactly one seat, so ``slot`` is
+        ignored; the interface matches :meth:`PooledChannel.rejoin` so
+        a supervisor heals both channel shapes uniformly.
+        """
+        host, port = address if address is not None else self.address
+        sock = _connect_retry(host, int(port), connect_timeout)
+        conn = _MuxConnection(sock, f"{host}:{port}", DispatchLoop.shared())
+        try:
+            _replay_journal(conn, self.journal[warm_from:],
+                            self.request_timeout)
+            conn.request(RpcMessage(PING)).result(
+                _lifecycle_timeout(self.request_timeout, self.probe_timeout))
+        except BaseException:
+            conn.close()
+            raise
+        old, self._conn = self._conn, conn
+        self.address = (host, int(port))
+        if not old.closed:
+            old.close()
+
+    def health(self) -> dict:
+        return {
+            "status": "down" if self._conn.closed else "ok",
+            "members_up": 0 if self._conn.closed else 1,
+            "members_ejected": 1 if self._conn.closed else 0,
+            "members": [{"address": self._conn.label,
+                         "state": "down" if self._conn.closed else "up"}],
+        }
+
     @property
     def stats(self) -> dict:
         return self._conn.stats
+
+
+class _PoolMember:
+    """One seat in a host pool: a connection plus its failover state.
+
+    The *seat* survives the connection: when a member dies its seat is
+    ejected (circuit breaker opens) and later re-bound to a fresh
+    connection by a half-open probe or a supervisor respawn — retired
+    connections' traffic counters are accumulated so :attr:`stats`
+    stay monotonic across reconnects.
+    """
+
+    def __init__(self, slot: int, address: tuple[str, int],
+                 conn: _MuxConnection):
+        self.slot = slot
+        self.address = address
+        self.conn = conn
+        #: How many journal frames this member's host has applied.
+        self.journal_applied = 0
+        self.ejected_at: float | None = None
+        self.probe_at = 0.0
+        self.backoff = EJECT_BACKOFF_BASE
+        self.probing = False
+        self.failures = 0
+        self.reconnects = 0
+        self._retired = {"requests": 0, "bytes_sent": 0, "bytes_received": 0}
+
+    @property
+    def label(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
+    @property
+    def up(self) -> bool:
+        return self.ejected_at is None and not self.conn.closed
+
+    def replace_conn(self, conn: _MuxConnection,
+                     address: tuple[str, int] | None = None
+                     ) -> _MuxConnection:
+        old = self.conn
+        for key in self._retired:
+            self._retired[key] += old.stats[key]
+        self.conn = conn
+        if address is not None:
+            self.address = (address[0], int(address[1]))
+        self.reconnects += 1
+        return old
+
+    @property
+    def stats(self) -> dict:
+        live = self.conn.stats
+        return {
+            "requests": live["requests"] + self._retired["requests"],
+            "bytes_sent": live["bytes_sent"] + self._retired["bytes_sent"],
+            "bytes_received": (live["bytes_received"]
+                               + self._retired["bytes_received"]),
+            "address": self.label,
+            "state": "up" if self.up else "ejected",
+            "failures": self.failures,
+            "reconnects": self.reconnects,
+        }
 
 
 class PooledChannel(Channel):
@@ -529,24 +708,50 @@ class PooledChannel(Channel):
     decomposition across the pool round-robin, all members computing
     their spans concurrently.
 
-    A member failing mid-request raises a typed
-    :class:`~repro.exceptions.QueryError` naming the member — never a
-    deadlock, never a partial result.
+    Because replicas are identical and reads/span sweeps are
+    idempotent, a member dying mid-request is *not* a query failure: the
+    lost frame is retransmitted to a surviving member (bit-identical
+    result), the dead seat is ejected behind a circuit breaker, and
+    half-open probes (or a :class:`~repro.network.supervisor.HostSupervisor`
+    respawn calling :meth:`rejoin`) replay the journaled state
+    broadcasts so the seat re-enters rotation warm.  Only when *no*
+    live member remains does a typed
+    :class:`~repro.exceptions.QueryError` surface.
     """
 
     def __init__(self, members: list[_MuxConnection],
-                 request_timeout: float | None = None):
+                 request_timeout: float | None = None,
+                 probe_timeout: float | None = PROBE_TIMEOUT):
         if not members:
             raise ProtocolError("a host pool needs at least one member")
-        self._members = list(members)
+        self._members = [
+            _PoolMember(slot, _parse_address(conn.label), conn)
+            for slot, conn in enumerate(members)]
         self.request_timeout = request_timeout
+        self.probe_timeout = probe_timeout
+        #: State-establishing frames in send order (see JOURNAL_KINDS).
+        self.journal: list[RpcMessage] = []
+        #: Optional ``callable(event, member_label)`` observability hook
+        #: fired on "eject" / "rejoin" / "failover" transitions.
+        self.on_event = None
+        #: Chaos seam: ``callable(member, message)`` consulted before
+        #: every unicast issue; may raise :class:`ConnectionLost` or
+        #: kill the member's process (tests/chaos.py).
+        self.fault_injector = None
         self._rotation = itertools.count()
         self._scattered = 0
+        self._failovers = 0
+        self._retransmits = 0
+        self._ejections = 0
+        self._rejoins = 0
+        self._closed = False
         self._lock = threading.Lock()
 
     @classmethod
     def connect(cls, addresses, timeout: float = 10.0,
-                request_timeout: float | None = None) -> "PooledChannel":
+                request_timeout: float | None = None,
+                probe_timeout: float | None = PROBE_TIMEOUT,
+                ) -> "PooledChannel":
         loop = DispatchLoop.shared()
         members: list[_MuxConnection] = []
         try:
@@ -557,7 +762,7 @@ class PooledChannel(Channel):
             for member in members:
                 member.close()
             raise
-        return cls(members, request_timeout)
+        return cls(members, request_timeout, probe_timeout)
 
     @property
     def fan_out(self) -> int:
@@ -567,50 +772,265 @@ class PooledChannel(Channel):
     def addresses(self) -> list[str]:
         return [member.label for member in self._members]
 
-    def send(self, message: RpcMessage) -> RpcMessage:
-        if message.kind in BROADCAST_KINDS:
-            # Issue to every member first, then gather: the replicas
-            # apply the state change concurrently.
-            pendings = [(m, self._request(m, message)) for m in self._members]
-            replies = [self._result(m, p) for m, p in pendings]
-            return replies[0]
-        member = self._pick()
-        return self._result(member, self._request(member, message))
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
-    def scatter(self, messages) -> list[RpcMessage]:
-        """Fan span frames across the pool; replies in request order."""
-        pendings = []
-        for index, message in enumerate(messages):
-            member = self._members[index % len(self._members)]
-            pendings.append((member, self._request(member, message)))
+    # -- member liveness ------------------------------------------------------
+
+    def _emit(self, event: str, member: _PoolMember) -> None:
+        hook = self.on_event
+        if hook is not None:
+            try:
+                hook(event, member.label)
+            except Exception:
+                pass  # observability must never fail a query
+
+    def _eject(self, member: _PoolMember, exc: Exception) -> None:
+        """Open the circuit breaker on a dead seat (idempotent)."""
+        first = False
         with self._lock:
-            self._scattered += len(pendings)
-        return [self._result(member, pending) for member, pending in pendings]
+            if member.ejected_at is None:
+                member.ejected_at = time.monotonic()
+                self._ejections += 1
+                first = True
+            member.failures += 1
+            member.probe_at = time.monotonic() + member.backoff
+            member.backoff = min(member.backoff * 2, EJECT_BACKOFF_CAP)
+        if not member.conn.closed:
+            member.conn.connection_lost(exc)
+        if first:
+            self._emit("eject", member)
 
-    def _pick(self) -> _MuxConnection:
+    def _live(self) -> list[_PoolMember]:
+        """Non-ejected members, lazily ejecting seats whose conn died."""
+        for member in self._members:
+            if member.ejected_at is None and member.conn.closed:
+                self._eject(member, ConnectionLost(
+                    f"connection to pool member {member.label} was lost"))
+        return [m for m in self._members if m.ejected_at is None]
+
+    def _pick(self) -> _PoolMember | None:
+        live = self._live()
+        if not live:
+            return None
         # Least-loaded member; the rotating tiebreak spreads an idle
         # pool's traffic instead of pinning it to member 0.
-        start = next(self._rotation) % len(self._members)
-        ordered = self._members[start:] + self._members[:start]
-        return min(ordered, key=lambda member: member.in_flight)
+        start = next(self._rotation) % len(live)
+        ordered = live[start:] + live[:start]
+        return min(ordered, key=lambda member: member.conn.in_flight)
 
-    def _request(self, member: _MuxConnection,
+    def _pick_live(self, last_error) -> _PoolMember:
+        """A live member, resurrecting ejected seats before giving up.
+
+        Degrading "to any pool size ≥ 1" means an exhausted pool tries
+        every ejected seat immediately (ignoring breaker timers) before
+        surfacing the failure.
+        """
+        member = self._pick()
+        if member is not None:
+            return member
+        for seat in sorted((m for m in self._members
+                            if m.ejected_at is not None),
+                           key=lambda m: m.probe_at):
+            if self._try_rejoin(seat):
+                return seat
+        raise QueryError(
+            "server pool member failover exhausted: no live replica "
+            f"remains in pool [{', '.join(self.addresses)}] "
+            f"(last error: {last_error})")
+
+    def _maybe_probe(self) -> None:
+        """Half-open probe: give at most one due ejected seat a chance."""
+        if self._closed:
+            return
+        now = time.monotonic()
+        for member in self._members:
+            with self._lock:
+                due = (member.ejected_at is not None and not member.probing
+                       and now >= member.probe_at)
+                if due:
+                    member.probing = True
+            if due:
+                try:
+                    self._try_rejoin(member)
+                finally:
+                    member.probing = False
+                return
+
+    def _try_rejoin(self, member: _PoolMember) -> bool:
+        try:
+            self.rejoin(member.slot, warm_from=member.journal_applied,
+                        connect_timeout=PROBE_CONNECT_TIMEOUT)
+            return True
+        except (ProtocolError, QueryError, OSError):
+            with self._lock:
+                member.probe_at = time.monotonic() + member.backoff
+                member.backoff = min(member.backoff * 2, EJECT_BACKOFF_CAP)
+            return False
+
+    def rejoin(self, slot: int, address: tuple[str, int] | None = None,
+               warm_from: int = 0,
+               connect_timeout: float = PROBE_CONNECT_TIMEOUT) -> None:
+        """Re-bind seat ``slot`` to a live host and return it to rotation.
+
+        Called by half-open probes (same address, host survived or was
+        externally restarted on its port) and by the supervisor after a
+        respawn (new ``address``, fresh process, ``warm_from=0``).  The
+        journaled state broadcasts past ``warm_from`` are replayed and a
+        ping verified before the seat is swapped in; if broadcasts land
+        concurrently the replay loops until the journal is caught up.
+        """
+        member = self._members[slot]
+        host, port = address if address is not None else member.address
+        sock = _connect_retry(host, int(port), connect_timeout)
+        conn = _MuxConnection(sock, f"{host}:{port}", DispatchLoop.shared())
+        try:
+            applied = warm_from
+            while True:
+                with self._lock:
+                    missing = self.journal[applied:]
+                if missing:
+                    _replay_journal(conn, missing, self.request_timeout)
+                    applied += len(missing)
+                    continue
+                conn.request(RpcMessage(PING)).result(_lifecycle_timeout(
+                    self.request_timeout, self.probe_timeout))
+                with self._lock:
+                    if len(self.journal) > applied:
+                        continue  # a broadcast raced the ping; catch up
+                    old = member.replace_conn(conn, (host, int(port)))
+                    member.journal_applied = applied
+                    member.ejected_at = None
+                    member.backoff = EJECT_BACKOFF_BASE
+                    self._rejoins += 1
+                break
+        except BaseException:
+            conn.close()
+            raise
+        if not old.closed:
+            old.close()
+        self._emit("rejoin", member)
+
+    # -- request routing ------------------------------------------------------
+
+    def _timeout_for(self, kind: str) -> float | None:
+        if kind in LIFECYCLE_KINDS:
+            return _lifecycle_timeout(self.request_timeout,
+                                      self.probe_timeout)
+        return self.request_timeout
+
+    def _request(self, member: _PoolMember,
                  message: RpcMessage) -> PendingReply:
-        try:
-            return member.request(message)
-        except ConnectionLost as exc:
-            raise QueryError(
-                f"server pool member {member.label} is unreachable: "
-                f"{exc}") from exc
+        injector = self.fault_injector
+        if injector is not None:
+            injector(member, message)
+        return member.conn.request(message)
 
-    def _result(self, member: _MuxConnection,
-                pending: PendingReply) -> RpcMessage:
-        try:
-            return pending.result(self.request_timeout)
-        except ConnectionLost as exc:
+    def _finish(self, pending: PendingReply, kind: str) -> RpcMessage:
+        return pending.result(self._timeout_for(kind))
+
+    def _count_failover(self, member: _PoolMember,
+                        retransmit: bool = False) -> None:
+        with self._lock:
+            self._failovers += 1
+            if retransmit:
+                self._retransmits += 1
+        self._emit("failover", member)
+
+    def send(self, message: RpcMessage) -> RpcMessage:
+        self._maybe_probe()
+        if message.kind in BROADCAST_KINDS:
+            return self._broadcast(message)
+        last_error: Exception | None = None
+        while True:
+            member = self._pick_live(last_error)
+            try:
+                pending = self._request(member, message)
+                return self._finish(pending, message.kind)
+            except ConnectionLost as exc:
+                # Reads are idempotent across identical replicas:
+                # eject the dead seat and fail over to a survivor.
+                last_error = exc
+                self._eject(member, exc)
+                self._count_failover(member)
+
+    def scatter(self, messages) -> list[RpcMessage]:
+        """Fan span frames across the pool; replies in request order.
+
+        A member dying mid-sweep retransmits its spans to survivors —
+        spans are idempotent reads, so the collected sweep stays
+        bit-identical.
+        """
+        self._maybe_probe()
+        entries = [(message, *self._issue(message)) for message in messages]
+        with self._lock:
+            self._scattered += len(entries)
+        return [self._collect(message, member, pending)
+                for message, member, pending in entries]
+
+    def _issue(self, message: RpcMessage) -> tuple[_PoolMember, PendingReply]:
+        last_error: Exception | None = None
+        while True:
+            member = self._pick_live(last_error)
+            try:
+                return member, self._request(member, message)
+            except ConnectionLost as exc:
+                last_error = exc
+                self._eject(member, exc)
+                self._count_failover(member)
+
+    def _collect(self, message: RpcMessage, member: _PoolMember,
+                 pending: PendingReply) -> RpcMessage:
+        while True:
+            try:
+                return self._finish(pending, message.kind)
+            except ConnectionLost as exc:
+                self._eject(member, exc)
+                self._count_failover(member, retransmit=True)
+                member, pending = self._issue(message)
+
+    def _broadcast(self, message: RpcMessage) -> RpcMessage:
+        """Deliver a state change to every live member (journaling it)."""
+        journal_index = None
+        if message.kind in JOURNAL_KINDS:
+            with self._lock:
+                self.journal.append(message)
+                journal_index = len(self.journal)
+        live = self._live()
+        if not live:
+            self._pick_live(None)  # resurrect an ejected seat or raise
+            live = self._live()
+        pendings = []
+        for member in live:
+            try:
+                pendings.append((member, self._request(member, message)))
+            except ConnectionLost as exc:
+                self._eject(member, exc)
+        reply = None
+        remote_error: Exception | None = None
+        for member, pending in pendings:
+            try:
+                result = self._finish(pending, message.kind)
+            except ConnectionLost as exc:
+                self._eject(member, exc)
+                continue
+            except Exception as exc:  # typed remote error — keep first
+                if remote_error is None:
+                    remote_error = exc
+                continue
+            if journal_index is not None:
+                member.journal_applied = max(member.journal_applied,
+                                             journal_index)
+            if reply is None:
+                reply = result
+        if remote_error is not None:
+            raise remote_error
+        if reply is None:
             raise QueryError(
-                f"server pool member {member.label} failed mid-request: "
-                f"{exc}") from exc
+                f"server pool member broadcast {message.kind!r} reached "
+                f"no live member of pool [{', '.join(self.addresses)}]")
+        return reply
 
     def shutdown_remote(self) -> None:
         try:
@@ -620,23 +1040,57 @@ class PooledChannel(Channel):
         self.close()
 
     def close(self) -> None:
+        self._closed = True
         for member in self._members:
-            if not member.closed:
-                member.close()
+            if not member.conn.closed:
+                member.conn.close()
+
+    def health(self) -> dict:
+        """Pool liveness snapshot: ``ok`` / ``degraded`` / ``down``."""
+        members = []
+        up = 0
+        for member in self._members:
+            state = "up" if member.up else "ejected"
+            up += state == "up"
+            members.append({"address": member.label, "state": state,
+                            "failures": member.failures,
+                            "reconnects": member.reconnects})
+        ejected = len(members) - up
+        if ejected == 0:
+            status = "ok"
+        elif up:
+            status = "degraded"
+        else:
+            status = "down"
+        with self._lock:
+            return {
+                "status": status,
+                "members_up": up,
+                "members_ejected": ejected,
+                "members": members,
+                "failovers": self._failovers,
+                "retransmits": self._retransmits,
+                "ejections": self._ejections,
+                "rejoins": self._rejoins,
+            }
 
     @property
     def stats(self) -> dict:
         members = [member.stats for member in self._members]
         with self._lock:
-            scattered = self._scattered
-        return {
-            "requests": sum(s["requests"] for s in members),
-            "bytes_sent": sum(s["bytes_sent"] for s in members),
-            "bytes_received": sum(s["bytes_received"] for s in members),
-            "fan_out": len(members),
-            "scattered_frames": scattered,
-            "members": members,
-        }
+            return {
+                "requests": sum(s["requests"] for s in members),
+                "bytes_sent": sum(s["bytes_sent"] for s in members),
+                "bytes_received": sum(s["bytes_received"] for s in members),
+                "fan_out": len(members),
+                "scattered_frames": self._scattered,
+                "failovers": self._failovers,
+                "retransmits": self._retransmits,
+                "ejections": self._ejections,
+                "rejoins": self._rejoins,
+                "journal_frames": len(self.journal),
+                "members": members,
+            }
 
 
 # -- overlapped role dispatch -------------------------------------------------

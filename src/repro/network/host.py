@@ -596,6 +596,17 @@ def launch_forked_pools(pool_sizes, host: str = "127.0.0.1"):
     return pools, processes
 
 
+def launch_forked_member(host: str = "127.0.0.1"):
+    """Fork one replacement entity host; ``((host, port), process)``.
+
+    The supervisor's respawn primitive: one fresh process on an
+    ephemeral port, ready for a channel ``rejoin`` to replay the
+    journal into it.
+    """
+    pools, processes = launch_forked_pools([1], host)
+    return pools[0][0], processes[0]
+
+
 def pools_spec(pools) -> str:
     """The ``tcp://`` deployment string for :func:`launch_forked_pools`."""
     return "tcp://" + "/".join(

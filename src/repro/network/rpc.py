@@ -227,6 +227,9 @@ def _remote_exception(payload) -> Exception:
         retry_after = payload.get("retry_after")
         if retry_after is not None and hasattr(exc, "retry_after"):
             exc.retry_after = float(retry_after)
+        address = payload.get("address")
+        if address is not None and hasattr(exc, "address"):
+            exc.address = str(address)
         return exc
     return ProtocolError(f"remote {name}: {message}")
 

@@ -48,7 +48,24 @@ class TrafficStats:
         self._total_bytes = 0
         self._bytes_by_pair: dict[tuple[Role, Role], int] = {}
         self._messages_by_kind: dict[str, int] = {}
+        self._events: dict[str, int] = {}
         self._lock = threading.Lock()
+
+    def count_event(self, kind: str, n: int = 1) -> None:
+        """Fold a transport-level lifecycle event into the counters.
+
+        The dispatch layer reports pool health transitions here
+        (``pool-eject`` / ``pool-failover`` / ``pool-rejoin`` /
+        ``pool-respawn``), so degraded operation shows up in the same
+        stats object that models protocol traffic.
+        """
+        with self._lock:
+            self._events[kind] = self._events.get(kind, 0) + int(n)
+
+    @property
+    def events(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._events)
 
     def record(self, message: Message) -> None:
         """Fold one transfer into the running counters (and the ring).
@@ -109,7 +126,7 @@ class TrafficStats:
 
     def summary(self) -> dict[str, int]:
         """Compact dict for experiment reports."""
-        return {
+        report = {
             "rounds": self.rounds,
             "messages": self.total_messages,
             "bytes": self.total_bytes,
@@ -119,6 +136,12 @@ class TrafficStats:
                 Role.SERVER, Role.ANNOUNCER),
             "server_to_server_bytes": self.bytes_between(Role.SERVER, Role.SERVER),
         }
+        events = self.events
+        if events:
+            # Only when something happened: healthy-run summaries stay
+            # byte-identical to pre-failover reports.
+            report["events"] = events
+        return report
 
 
 class LocalTransport:

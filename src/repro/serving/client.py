@@ -20,17 +20,22 @@ submissions from many clients.
 Typed errors cross the socket: a tenancy violation raises
 :class:`~repro.exceptions.AuthError` here, over-limit traffic raises
 :class:`~repro.exceptions.AdmissionError` (with ``retry_after`` when
-the gateway provided one), exactly as if raised in-process.
+the gateway provided one), exactly as if raised in-process.  And the
+gateway itself dying mid-call raises
+:class:`~repro.exceptions.GatewayDisconnected` carrying the last known
+gateway address — never a bare transport error.
 """
 
 from __future__ import annotations
 
 from repro.api.planner import Planner
 from repro.api.sql import split_explain
-from repro.exceptions import QueryError
+from repro.exceptions import GatewayDisconnected, QueryError
 from repro.network.dispatch import (
+    ConnectionLost,
     DispatchLoop,
     _connect_retry,
+    _lifecycle_timeout,
     _MuxConnection,
 )
 from repro.network.rpc import PING, RpcMessage
@@ -40,14 +45,21 @@ from repro.serving import session as proto
 class GatewayFuture:
     """Handle for one pipelined gateway query's eventual result."""
 
-    def __init__(self, pending, timeout: float | None = None):
+    def __init__(self, pending, timeout: float | None = None,
+                 address: str | None = None):
         self._pending = pending
         self._timeout = timeout
+        self._address = address
 
     def result(self, timeout: float | None = None):
         """Block for the query result; raises what the gateway raised."""
-        reply = self._pending.result(
-            self._timeout if timeout is None else timeout)
+        try:
+            reply = self._pending.result(
+                self._timeout if timeout is None else timeout)
+        except ConnectionLost as exc:
+            raise GatewayDisconnected(
+                f"gateway at {self._address} disconnected mid-call: {exc}",
+                address=self._address) from exc
         return proto.result_from_wire(reply.payload)
 
 
@@ -65,14 +77,20 @@ class GatewayClient:
             may still be booting).
         request_timeout: per-request reply deadline (``None``: wait
             forever — matching entity channels).
+        probe_timeout: reply deadline for lifecycle calls (``ping`` /
+            ``healthz``) — bounded even when queries may take minutes.
     """
 
     def __init__(self, host: str, port: int, token: str,
                  dataset: str | None = None,
                  connect_timeout: float = 10.0,
-                 request_timeout: float | None = None):
+                 request_timeout: float | None = None,
+                 probe_timeout: float | None = 5.0):
         self.request_timeout = request_timeout
+        self.probe_timeout = probe_timeout
         self.default_dataset = dataset
+        #: Last known gateway address (carried on GatewayDisconnected).
+        self.address = f"{host}:{port}"
         self.planner = Planner()
         self._queries = 0
         self._explains = 0
@@ -124,9 +142,14 @@ class GatewayClient:
             payload["num_threads"] = int(num_threads)
         if num_shards is not None:
             payload["num_shards"] = num_shards
-        pending = self._conn.request(RpcMessage(proto.QUERY, payload))
+        try:
+            pending = self._conn.request(RpcMessage(proto.QUERY, payload))
+        except ConnectionLost as exc:
+            raise GatewayDisconnected(
+                f"gateway at {self.address} is gone: {exc}",
+                address=self.address) from exc
         self._queries += 1
-        return GatewayFuture(pending, self.request_timeout)
+        return GatewayFuture(pending, self.request_timeout, self.address)
 
     def execute(self, query, dataset: str | None = None,
                 num_threads: int | None = None,
@@ -166,11 +189,16 @@ class GatewayClient:
         return self._call(proto.STATS, None)
 
     def healthz(self) -> dict:
-        """The gateway's liveness report."""
-        return self._call(proto.HEALTHZ, None)
+        """The gateway's liveness report (short probe deadline)."""
+        return self._call(proto.HEALTHZ, None,
+                          timeout=_lifecycle_timeout(self.request_timeout,
+                                                     self.probe_timeout))
 
     def ping(self) -> bool:
-        return self._call(PING, None) == "pong"
+        return self._call(PING, None,
+                          timeout=_lifecycle_timeout(
+                              self.request_timeout,
+                              self.probe_timeout)) == "pong"
 
     @property
     def stats(self) -> dict:
@@ -189,9 +217,18 @@ class GatewayClient:
                 "client")
         return str(dataset)
 
-    def _call(self, kind: str, payload):
-        reply = self._conn.request(RpcMessage(kind, payload)).result(
-            self.request_timeout)
+    _UNSET = object()
+
+    def _call(self, kind: str, payload, timeout=_UNSET):
+        if timeout is self._UNSET:
+            timeout = self.request_timeout
+        try:
+            reply = self._conn.request(RpcMessage(kind, payload)).result(
+                timeout)
+        except ConnectionLost as exc:
+            raise GatewayDisconnected(
+                f"gateway at {self.address} disconnected mid-call: {exc}",
+                address=self.address) from exc
         return reply.payload
 
     def close(self) -> None:

@@ -60,7 +60,12 @@ from repro.network.codec import (
     encode_frame,
     is_gateway_kind,
 )
-from repro.network.host import launch_forked_hosts
+from repro.network.host import (
+    launch_forked_hosts,
+    launch_forked_pools,
+    pools_spec,
+)
+from repro.network.supervisor import HostSupervisor
 from repro.network.rpc import (
     ERROR,
     PING,
@@ -99,9 +104,11 @@ class Gateway:
         deployment: where each dataset's entities live — any
             :class:`~repro.core.system.PrismSystem` deployment spec
             (``"local"``, ``"subprocess"``, ``"tcp://..."`` including
-            pooled forms), or ``"forked-tcp"`` to have the gateway fork
+            pooled forms), ``"forked-tcp"`` to have the gateway fork
             three entity-host processes per dataset and tear them down
-            with it.
+            with it, or ``"forked-tcp:N"`` (N ≥ 2) for N supervised
+            replicas per server role — members that die are failed
+            over, respawned, and warm-rejoined automatically.
         host, port: listen address (``port=0``: ephemeral, see
             :attr:`port` after :meth:`start`).
         max_inflight: gateway-wide concurrent-query bound.
@@ -160,14 +167,28 @@ class Gateway:
         """
         deployment = self.deployment
         processes = []
-        if deployment == "forked-tcp":
-            deployment, processes = launch_forked_hosts(3)
+        pools = None
+        pool_size = 1
+        if isinstance(deployment, str) and deployment.startswith("forked-tcp"):
+            _, _, suffix = deployment.partition(":")
+            pool_size = int(suffix) if suffix else 1
+            if pool_size <= 1:
+                deployment, processes = launch_forked_hosts(3)
+            else:
+                pools, processes = launch_forked_pools([pool_size] * 3)
+                deployment = pools_spec(pools)
+        system = None
         try:
             system = PrismSystem.build(
                 relations, domain, psi_attribute,
                 agg_attributes=agg_attributes,
                 with_verification=with_verification,
                 seed=seed, deployment=deployment, **system_options)
+            if pools is not None:
+                # Self-healing pools: the supervisor owns the forked
+                # processes from here (system.close() reaps through it).
+                HostSupervisor(system, pools, processes).start()
+                processes = []
             client = PrismClient(system,
                                  coalesce_window=self.coalesce_window)
             dataset = Dataset(tenant, name, system, client,
@@ -175,6 +196,8 @@ class Gateway:
                               processes=processes)
             self.registry.register(dataset)
         except BaseException:
+            if system is not None:
+                system.close()
             reap_processes(processes)
             raise
         return dataset
@@ -444,13 +467,28 @@ class Gateway:
         return dataset, proto.query_from_wire(payload.get("query"))
 
     def _healthz(self) -> dict:
+        pools = {}
+        degraded = False
+        for dataset in self.registry.all():
+            health = dataset.system.pool_health()
+            pools[dataset.ref] = health
+            degraded = degraded or health["status"] != "ok"
+        if self._closing:
+            status = "draining"
+        elif degraded:
+            # Queries still succeed via failover, but the report must
+            # not lie "ok" while a pool runs ejected members.
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "draining" if self._closing else "ok",
+            "status": status,
             "protocol": proto.PROTOCOL_VERSION,
             "uptime": time.monotonic() - self._started,
             "accepting": not self._closing,
             "inflight": self.admission.inflight,
             "datasets": len(self.registry.all()),
+            "pools": pools,
         }
 
     def _stats(self) -> dict:
@@ -494,6 +532,9 @@ def _error_payload(exc: Exception) -> dict:
     retry_after = getattr(exc, "retry_after", None)
     if retry_after is not None:
         payload["retry_after"] = float(retry_after)
+    address = getattr(exc, "address", None)
+    if address is not None:
+        payload["address"] = str(address)
     return payload
 
 
@@ -506,7 +547,8 @@ def main(argv=None) -> int:
                         help="bind address (default: loopback)")
     parser.add_argument("--deployment", default="local",
                         help="dataset deployment: local, subprocess, "
-                             "forked-tcp, or a tcp:// spec")
+                             "forked-tcp, forked-tcp:N (N supervised "
+                             "replicas per role), or a tcp:// spec")
     parser.add_argument("--tenant", action="append", default=[],
                         metavar="TOKEN=NAME",
                         help="tenant token mapping (repeatable); default "

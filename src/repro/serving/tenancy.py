@@ -123,6 +123,7 @@ class Dataset:
             "queries_by_tenant": by_tenant,
             "scheduler": dict(scheduler),
             "fusion": dict(fusion),
+            "pool_health": self.system.pool_health()["status"],
         }
 
     def close(self) -> None:

@@ -6,6 +6,7 @@ from repro.exceptions import (
     AdmissionError,
     AuthError,
     DomainError,
+    GatewayDisconnected,
     ParameterError,
     PrismError,
     ProtocolError,
@@ -21,6 +22,7 @@ class TestHierarchy:
     @pytest.mark.parametrize("exc", [
         ParameterError, ShareError, ProtocolError, VerificationError,
         DomainError, QueryError, AuthError, AdmissionError,
+        GatewayDisconnected,
     ])
     def test_all_derive_from_prism_error(self, exc):
         assert issubclass(exc, PrismError)
@@ -61,6 +63,17 @@ class TestServingErrorPayloads:
     def test_admission_error_retry_after_optional(self):
         assert AdmissionError("full").retry_after is None
 
+    def test_gateway_disconnected_carries_address(self):
+        err = GatewayDisconnected("gateway gone", address="10.0.0.7:9000")
+        assert err.address == "10.0.0.7:9000"
+        assert "gateway gone" in str(err)
+        # Connection-level failures must be catchable as protocol
+        # errors by code that predates the typed subclass.
+        assert isinstance(err, ProtocolError)
+
+    def test_gateway_disconnected_address_optional(self):
+        assert GatewayDisconnected("gone").address is None
+
 
 class TestServingWireRoundTrip:
     """AuthError/AdmissionError cross the framed wire as themselves.
@@ -78,6 +91,8 @@ class TestServingWireRoundTrip:
         payload = {"type": type(exc).__name__, "message": str(exc)}
         if getattr(exc, "retry_after", None) is not None:
             payload["retry_after"] = float(exc.retry_after)
+        if getattr(exc, "address", None) is not None:
+            payload["address"] = str(exc.address)
         frame = decode_frame(encode_frame(ERROR, 7, FULL_SPAN, payload))
         assert frame.kind == ERROR
         return _remote_exception(frame.payload)
@@ -98,6 +113,13 @@ class TestServingWireRoundTrip:
         rebuilt = self._round_trip(AdmissionError("queue full"))
         assert type(rebuilt) is AdmissionError
         assert rebuilt.retry_after is None
+
+    def test_gateway_disconnected_round_trips_with_address(self):
+        rebuilt = self._round_trip(
+            GatewayDisconnected("mid-call loss", address="127.0.0.1:8443"))
+        assert type(rebuilt) is GatewayDisconnected
+        assert rebuilt.address == "127.0.0.1:8443"
+        assert isinstance(rebuilt, ProtocolError)
 
 
 class TestMedianVerifyRejection:
