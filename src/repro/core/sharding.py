@@ -47,6 +47,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import ProtocolError
 
 
@@ -159,12 +160,22 @@ def compute_sweep_span(server, family: str, spec: dict, lo: int, hi: int,
         # Eq. 3 / Eq. 7 span: sum, ⊖ A(m), mod δ, power-table lookup.
         delta = server.params.delta
         table = server.params.group.power_table
+        m_rows = np.asarray(spec["m_rows"], dtype=np.int64)[:, None]
+        share_lists = [
+            [store.shard_slice(owner, column, lo, hi) for owner in col_owners]
+            for column, col_owners in zip(columns, owners)
+        ]
+        out = np.empty((len(columns), hi - lo), dtype=np.int64)
+        native = kernels.psi_sweep(share_lists, m_rows, delta, table, out)
+        if native is not None:
+            native(0, hi - lo)
+            return out
         acc = np.zeros((len(columns), hi - lo), dtype=np.int64)
-        for q, (column, col_owners) in enumerate(zip(columns, owners)):
+        for q, row_shares in enumerate(share_lists):
             row = acc[q]
-            for owner in col_owners:
-                row += store.shard_slice(owner, column, lo, hi)
-        acc -= np.asarray(spec["m_rows"], dtype=np.int64)[:, None]
+            for s in row_shares:
+                row += s
+        acc -= m_rows
         np.mod(acc, delta, out=acc)
         return table[acc]
 
@@ -175,12 +186,23 @@ def compute_sweep_span(server, family: str, spec: dict, lo: int, hi: int,
         delta = server.params.delta
         table = server.params.group.power_table
         span = np.asarray(spec["cells"][lo:hi], dtype=np.int64)
+        m_rows = np.asarray(spec["m_rows"], dtype=np.int64)[:, None]
+        share_lists = [
+            [store.get(owner, column).values for owner in col_owners]
+            for column, col_owners in zip(columns, owners)
+        ]
+        out = np.empty((len(columns), hi - lo), dtype=np.int64)
+        native = kernels.psi_sweep(share_lists, m_rows, delta, table, out,
+                                   cells=span)
+        if native is not None:
+            native(0, hi - lo)
+            return out
         acc = np.zeros((len(columns), hi - lo), dtype=np.int64)
-        for q, (column, col_owners) in enumerate(zip(columns, owners)):
+        for q, row_shares in enumerate(share_lists):
             row = acc[q]
-            for owner in col_owners:
-                row += store.get(owner, column).values[span]
-        acc -= np.asarray(spec["m_rows"], dtype=np.int64)[:, None]
+            for s in row_shares:
+                row += s[span]
+        acc -= m_rows
         np.mod(acc, delta, out=acc)
         return table[acc]
 
@@ -192,18 +214,28 @@ def compute_sweep_span(server, family: str, spec: dict, lo: int, hi: int,
         # mask generation, PSU's dominant cost, shards with the sweep.
         from repro.crypto.prg import SeededPRG
         delta = server.params.delta
-        acc = np.zeros((len(columns), hi - lo), dtype=np.int64)
-        for u, (column, col_owners) in enumerate(zip(columns, owners)):
-            row = acc[u]
-            for owner in col_owners:
-                row += store.shard_slice(owner, column, lo, hi)
-        np.mod(acc, delta, out=acc)
         row_map = np.asarray(spec["row_map"], dtype=np.int64)
-        rand = np.stack([
-            SeededPRG(server.params.prg_seed,
-                      f"psu-{nonce}").integers_at(lo, hi - lo, 1, delta)
-            for nonce in spec["nonces"]
-        ])
+        share_lists = [
+            [store.shard_slice(owner, column, lo, hi) for owner in col_owners]
+            for column, col_owners in zip(columns, owners)
+        ]
+        prgs = [SeededPRG(server.params.prg_seed, f"psu-{nonce}")
+                for nonce in spec["nonces"]]
+        acc = np.zeros((len(columns), hi - lo), dtype=np.int64)
+        out = np.empty((len(row_map), hi - lo), dtype=np.int64)
+        native = kernels.psu_sweep(share_lists, acc, row_map,
+                                   [prg.key_bytes for prg in prgs], delta,
+                                   out, draw_base=lo)
+        if native is not None:
+            native(0, hi - lo)
+            return out
+        for u, col_shares in enumerate(share_lists):
+            row = acc[u]
+            for s in col_shares:
+                row += s
+        np.mod(acc, delta, out=acc)
+        rand = np.stack([prg.integers_at(lo, hi - lo, 1, delta)
+                         for prg in prgs])
         return np.mod(acc[row_map] * rand, delta)
 
     if family == "agg":
@@ -211,12 +243,20 @@ def compute_sweep_span(server, family: str, spec: dict, lo: int, hi: int,
         if z_span is None:
             raise ProtocolError("aggregation span needs its z matrix span")
         p = server.params.field_prime
+        share_lists = [
+            [store.shard_slice(owner, column, lo, hi) for owner in col_owners]
+            for column, col_owners in zip(columns, owners)
+        ]
         acc = np.zeros((len(columns), hi - lo), dtype=np.int64)
-        for q, (column, col_owners) in enumerate(zip(columns, owners)):
+        native = kernels.agg_sweep(share_lists, np.asarray(z_span), p, acc)
+        if native is not None:
+            native(0, hi - lo)
+            return acc
+        for q, row_shares in enumerate(share_lists):
             z = z_span[q]
             row = acc[q]
-            for owner in col_owners:
-                row += np.mod(store.shard_slice(owner, column, lo, hi) * z, p)
+            for s in row_shares:
+                row += np.mod(s * z, p)
                 np.mod(row, p, out=row)
         return acc
 
@@ -489,6 +529,14 @@ AUTO_ROWS_PER_SHARD = 16_384
 #: threads (free dispatch) below it.
 AUTO_WORKER_MIN_ROWS = 65_536
 
+#: Crossover scaling when the compiled kernel tier is active.  The C
+#: sweeps cut the per-row cost ~2-9x (``benchmarks/bench_kernels.py``),
+#: so each shard must carry proportionally more rows before the same
+#: dispatch overhead amortises; re-measuring ``bench_sharding.py`` with
+#: ``REPRO_KERNELS=c`` shows the single-shard compiled sweep beating
+#: sharded numpy until roughly this multiple of the plain thresholds.
+AUTO_NATIVE_ROWS_FACTOR = 4
+
 
 def auto_shard_plan(rows: int, cpu_count: int | None = None
                     ) -> tuple[int, bool]:
@@ -500,13 +548,20 @@ def auto_shard_plan(rows: int, cpu_count: int | None = None
     :data:`AUTO_WORKER_MIN_ROWS` (and only where fork exists), else on
     the zero-dispatch thread fallback.  Both thresholds come from the
     threads-vs-workers crossover measured by
-    ``benchmarks/bench_sharding.py``.
+    ``benchmarks/bench_sharding.py``, and scale by
+    :data:`AUTO_NATIVE_ROWS_FACTOR` when the compiled kernel tier is
+    active (cheaper rows push the crossover out).
     """
+    rows_per_shard = AUTO_ROWS_PER_SHARD
+    worker_min = AUTO_WORKER_MIN_ROWS
+    if kernels.enabled():
+        rows_per_shard *= AUTO_NATIVE_ROWS_FACTOR
+        worker_min *= AUTO_NATIVE_ROWS_FACTOR
     cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
-    shards = min(max(1, cpus), max(1, rows // AUTO_ROWS_PER_SHARD))
+    shards = min(max(1, cpus), max(1, rows // rows_per_shard))
     if shards <= 1:
         return 1, False
-    use_workers = processes_available() and rows >= AUTO_WORKER_MIN_ROWS
+    use_workers = processes_available() and rows >= worker_min
     return shards, use_workers
 
 

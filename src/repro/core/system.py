@@ -194,6 +194,11 @@ class PrismSystem:
                                    field_prime=field_prime,
                                    value_bound=value_bound)
         self.transport = LocalTransport(serialize=serialize_transport)
+        # Dispatch/supervision layers count the exceptions their
+        # survival guards deliberately swallow against this transport's
+        # stats (``swallowed-<site>:<ExcType>`` events).
+        from repro.network.dispatch import register_event_sink
+        register_event_sink(self.transport)
         #: Optional :class:`~repro.network.supervisor.HostSupervisor`
         #: (set by whoever forked the pools; closed with the system).
         self.supervisor = None
@@ -260,13 +265,20 @@ class PrismSystem:
             for i in range(NUM_SERVERS):
                 params = self.initiator.server_params(i)
                 factory = factories.get(i, PrismServer)
-                if self.deployment.mode == "subprocess":
+                if self.deployment.mode in ("subprocess", "shm"):
                     # The factory runs in the child post-fork, so
                     # arbitrary callables (malicious-server lambdas
-                    # included) work.
+                    # included) work.  "shm" additionally maps a pair
+                    # of shared-memory arenas per channel before the
+                    # fork, so share vectors skip the socket.
                     make = _callable_factory(factory)
+                    shm_bytes = None
+                    if self.deployment.mode == "shm":
+                        from repro.network.shm import DEFAULT_ARENA_BYTES
+                        shm_bytes = DEFAULT_ARENA_BYTES
                     channel = SubprocessChannel.spawn(
-                        lambda i=i, params=params, make=make: make(i, params))
+                        lambda i=i, params=params, make=make: make(i, params),
+                        shm_bytes=shm_bytes)
                     self._channels.append(channel)
                 else:
                     server_class, ctor_kwargs = _server_spec(factory)

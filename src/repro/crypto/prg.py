@@ -19,9 +19,39 @@ import struct
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import ParameterError
 
 _BLOCK_BYTES = 32  # SHA-256 digest size
+
+
+def _stream_bytes(key: bytes, start: int, n: int) -> bytes:
+    """Bytes ``[start, start + n)`` of the counter-mode stream for ``key``.
+
+    Counter mode makes the stream a pure function of ``(key, start, n)``,
+    so sequential consumption (:meth:`SeededPRG.bytes`) and seeking
+    (:meth:`SeededPRG.integers_at`) share one implementation — and one
+    compiled fast path: when the opt-in kernel tier is active the block
+    hashing runs in C (:func:`repro.kernels.prg_fill`), bit-identical to
+    the hashlib reference below.
+    """
+    if n <= 0:
+        return b""
+    filled = kernels.prg_fill(key, start, n)
+    if filled is not None:
+        return filled
+    # Reference path: one tight comprehension with pre-bound locals —
+    # this emits the PSU mask streams (80 KB per query at b = 10k), so
+    # per-block Python overhead is measurable.
+    first = start // _BLOCK_BYTES
+    last = -(-(start + n) // _BLOCK_BYTES)  # ceil
+    sha, pack = hashlib.sha256, struct.pack
+    blob = b"".join(
+        sha(key + pack("<Q", counter)).digest()
+        for counter in range(first, last)
+    )
+    offset = start - first * _BLOCK_BYTES
+    return blob[offset:offset + n]
 
 
 class SeededPRG:
@@ -43,31 +73,20 @@ class SeededPRG:
         self._key = hashlib.sha256(
             label.encode("utf-8") + b"|" + str(int(seed)).encode("ascii")
         ).digest()
-        self._counter = 0
-        self._buffer = b""
+        self._pos = 0  # absolute byte position in the stream
 
-    def _refill(self, need: int) -> None:
-        have = len(self._buffer)
-        if have >= need:
-            return
-        # One tight comprehension with pre-bound locals: this path emits
-        # the PSU mask streams (80 KB per query at b = 10k), so per-block
-        # Python overhead is measurable.
-        nblocks = (need - have + _BLOCK_BYTES - 1) // _BLOCK_BYTES
-        key, sha, pack = self._key, hashlib.sha256, struct.pack
-        start = self._counter
-        self._counter = start + nblocks
-        self._buffer += b"".join(
-            sha(key + pack("<Q", counter)).digest()
-            for counter in range(start, start + nblocks)
-        )
+    @property
+    def key_bytes(self) -> bytes:
+        """The 32-byte stream key (the fused compiled PSU sweep seeds its
+        in-kernel mask generator with this, seeking like ``integers_at``)."""
+        return self._key
 
     def bytes(self, n: int) -> bytes:
         """Next ``n`` bytes of the stream."""
         if n < 0:
             raise ParameterError("cannot draw a negative number of bytes")
-        self._refill(n)
-        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        out = _stream_bytes(self._key, self._pos, n)
+        self._pos += n
         return out
 
     def integers(self, n: int, low: int, high: int) -> np.ndarray:
@@ -102,17 +121,8 @@ class SeededPRG:
             raise ParameterError(
                 f"stream window [{offset}, {offset + n}) must be non-negative"
             )
-        start = 8 * offset
-        end = start + 8 * n
-        first = start // _BLOCK_BYTES
-        last = -(-end // _BLOCK_BYTES)  # ceil
-        key, sha, pack = self._key, hashlib.sha256, struct.pack
-        blob = b"".join(
-            sha(key + pack("<Q", counter)).digest()
-            for counter in range(first, last)
-        )
-        base = first * _BLOCK_BYTES
-        raw = np.frombuffer(blob[start - base:end - base], dtype="<u8")
+        raw = np.frombuffer(_stream_bytes(self._key, 8 * offset, 8 * n),
+                            dtype="<u8")
         span = high - low
         return (raw % np.uint64(span)).astype(np.int64) + low
 

@@ -46,7 +46,13 @@ class StoredColumn:
     __slots__ = ("values", "kind")
 
     def __init__(self, values: np.ndarray, kind: ShareKind):
-        self.values = np.asarray(values, dtype=np.int64)
+        # Stored columns are the long-lived kernel inputs: require an
+        # aligned, contiguous int64 copy *here* — the single retention
+        # point — so the wire codec can hand out zero-copy views (which
+        # may be unaligned and frame-backed) on the hot decode path
+        # without pinning whole receive blobs in the store.
+        self.values = np.require(values, dtype=np.int64,
+                                 requirements=["ALIGNED", "C_CONTIGUOUS"])
         self.kind = kind
 
     @property

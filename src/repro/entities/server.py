@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro import kernels
 from repro.core.params import ServerParams
 from repro.crypto.prg import SeededPRG
 from repro.data.storage import ServerStore, ShareKind
@@ -446,18 +447,20 @@ class PrismServer:
                 m_rows, n, plan.num_shards)
             if out is not None:
                 return out
-        acc = np.zeros((len(columns), n), dtype=np.int64)
-        out = np.empty_like(acc)
+        out = np.empty((len(columns), n), dtype=np.int64)
+        kernel = kernels.psi_sweep(share_lists, m_rows, delta, table, out)
+        if kernel is None:
+            acc = np.zeros_like(out)
 
-        def kernel(lo: int, hi: int) -> None:
-            local = acc[:, lo:hi]
-            for q, row_shares in enumerate(share_lists):
-                row = local[q]
-                for s in row_shares:
-                    row += s[lo:hi]
-            local -= m_rows
-            np.mod(local, delta, out=local)
-            out[:, lo:hi] = table[local]
+            def kernel(lo: int, hi: int) -> None:
+                local = acc[:, lo:hi]
+                for q, row_shares in enumerate(share_lists):
+                    row = local[q]
+                    for s in row_shares:
+                        row += s[lo:hi]
+                local -= m_rows
+                np.mod(local, delta, out=local)
+                out[:, lo:hi] = table[local]
 
         self._run_chunked(kernel, n, self._sweep_chunks(num_threads, plan))
         return out
@@ -528,19 +531,22 @@ class PrismServer:
                 m_rows, cells, plan.num_shards)
             if out is not None:
                 return out
-        acc = np.zeros((len(columns), n), dtype=np.int64)
-        out = np.empty_like(acc)
+        out = np.empty((len(columns), n), dtype=np.int64)
+        kernel = kernels.psi_sweep(share_lists, m_rows, delta, table, out,
+                                   cells=cells)
+        if kernel is None:
+            acc = np.zeros_like(out)
 
-        def kernel(lo: int, hi: int) -> None:
-            span = cells[lo:hi]
-            local = acc[:, lo:hi]
-            for q, row_shares in enumerate(share_lists):
-                row = local[q]
-                for s in row_shares:
-                    row += s[span]
-            local -= m_rows
-            np.mod(local, delta, out=local)
-            out[:, lo:hi] = table[local]
+            def kernel(lo: int, hi: int) -> None:
+                span = cells[lo:hi]
+                local = acc[:, lo:hi]
+                for q, row_shares in enumerate(share_lists):
+                    row = local[q]
+                    for s in row_shares:
+                        row += s[span]
+                local -= m_rows
+                np.mod(local, delta, out=local)
+                out[:, lo:hi] = table[local]
 
         self._run_chunked(kernel, n, self._sweep_chunks(num_threads, plan))
         return out
@@ -634,21 +640,27 @@ class PrismServer:
                 row_map, list(query_nonces), n, plan.num_shards)
             if out is not None:
                 return self._apply_psu_permute(out, permute)
-        rand = np.stack([
-            SeededPRG(self.params.prg_seed, f"psu-{nonce}").integers(n, 1, delta)
-            for nonce in query_nonces
-        ])
         acc = np.zeros((len(uniq), n), dtype=np.int64)
         out = np.empty((len(columns), n), dtype=np.int64)
+        keys = [SeededPRG(self.params.prg_seed, f"psu-{nonce}").key_bytes
+                for nonce in query_nonces]
+        kernel = kernels.psu_sweep(share_lists, acc, row_map, keys, delta,
+                                   out)
+        if kernel is None:
+            rand = np.stack([
+                SeededPRG(self.params.prg_seed,
+                          f"psu-{nonce}").integers(n, 1, delta)
+                for nonce in query_nonces
+            ])
 
-        def kernel(lo: int, hi: int) -> None:
-            local = acc[:, lo:hi]
-            for u, col_shares in enumerate(share_lists):
-                row = local[u]
-                for s in col_shares:
-                    row += s[lo:hi]
-            np.mod(local, delta, out=local)
-            out[:, lo:hi] = np.mod(local[row_map] * rand[:, lo:hi], delta)
+            def kernel(lo: int, hi: int) -> None:
+                local = acc[:, lo:hi]
+                for u, col_shares in enumerate(share_lists):
+                    row = local[u]
+                    for s in col_shares:
+                        row += s[lo:hi]
+                np.mod(local, delta, out=local)
+                out[:, lo:hi] = np.mod(local[row_map] * rand[:, lo:hi], delta)
 
         self._run_chunked(kernel, n, self._sweep_chunks(num_threads, plan))
         return self._apply_psu_permute(out, permute)
@@ -676,7 +688,11 @@ class PrismServer:
         """
         if not len(columns):
             raise ProtocolError("batched aggregation needs at least one column")
-        z_matrix = np.asarray(z_matrix, dtype=np.int64)
+        # ALIGNED matters for wire-decoded z matrices: the codec hands
+        # out zero-copy frame views, which the compiled sweeps (and fast
+        # numpy paths) want re-packed once, here.
+        z_matrix = np.require(z_matrix, dtype=np.int64,
+                              requirements=["ALIGNED", "C_CONTIGUOUS"])
         if z_matrix.ndim != 2 or z_matrix.shape[0] != len(columns):
             raise ProtocolError(
                 f"z matrix of shape {z_matrix.shape} does not stack one row "
@@ -704,17 +720,18 @@ class PrismServer:
                 return out
         p = self.params.field_prime
         acc = np.zeros((len(columns), n), dtype=np.int64)
-
-        def kernel(lo: int, hi: int) -> None:
-            local = acc[:, lo:hi]
-            for q, row_shares in enumerate(share_lists):
-                z = z_matrix[q, lo:hi]
-                row = local[q]
-                for s in row_shares:
-                    # p < 2**31 keeps each product below 2**62; reduce per
-                    # term.
-                    row += np.mod(s[lo:hi] * z, p)
-                    np.mod(row, p, out=row)
+        kernel = kernels.agg_sweep(share_lists, z_matrix, p, acc)
+        if kernel is None:
+            def kernel(lo: int, hi: int) -> None:
+                local = acc[:, lo:hi]
+                for q, row_shares in enumerate(share_lists):
+                    z = z_matrix[q, lo:hi]
+                    row = local[q]
+                    for s in row_shares:
+                        # p < 2**31 keeps each product below 2**62; reduce
+                        # per term.
+                        row += np.mod(s[lo:hi] * z, p)
+                        np.mod(row, p, out=row)
 
         self._run_chunked(kernel, n, self._sweep_chunks(num_threads, plan))
         return acc

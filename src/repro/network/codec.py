@@ -39,10 +39,34 @@ from __future__ import annotations
 
 import dataclasses
 import struct
+import sys
 
 import numpy as np
 
 from repro.exceptions import ProtocolError
+
+#: Zero-copy decode is only valid where the wire layout (little-endian
+#: int64) *is* the host layout; big-endian hosts take the byteswapping
+#: copy path.
+_NATIVE_LE = sys.byteorder == "little"
+
+
+def _decode_i64(blob, offset: int, count: int) -> np.ndarray:
+    """``count`` int64s at ``offset`` — a zero-copy view when possible.
+
+    On little-endian hosts an immutable ``bytes`` blob backs the
+    returned (read-only) array directly: decoding a share vector costs
+    no copy, and the view keeps the blob alive.  Mutable buffers
+    (``bytearray`` receive windows) and big-endian hosts fall back to
+    copying — a view into a reused receive buffer would be corrupted by
+    the next read.  Consumers that *retain* decoded vectors copy at the
+    retention point (:class:`repro.data.storage.StoredColumn`), not here
+    on the hot path.
+    """
+    if _NATIVE_LE and isinstance(blob, bytes):
+        return np.frombuffer(blob, dtype=np.int64, count=count, offset=offset)
+    return np.frombuffer(
+        blob[offset:offset + 8 * count], dtype="<i8").astype(np.int64)
 
 MAGIC = 0x5A
 VERSION = 1
@@ -84,6 +108,18 @@ _TAG_BOOL = 9
 _TAG_FLOAT = 10
 _TAG_BYTES = 11
 _TAG_MAP = 12
+#: Shared-memory references (same-host deployments only): the array
+#: body lives in a :class:`repro.network.shm.ShmArena` both sides of
+#: the channel mapped before forking; the frame carries ``(offset,
+#: shape)``.  Decoding one without an arena is a protocol violation —
+#: these tags must never cross a real network boundary.
+_TAG_VECTOR_SHM = 13
+_TAG_MATRIX_SHM = 14
+
+#: Arrays below this byte size stay inline even with an arena attached:
+#: the reference + copy-out machinery only beats the inline path once
+#: the memcpy dominates the per-frame overhead.
+_SHM_MIN_BYTES = 2048
 
 #: Containers deeper than this are a malformed (or adversarial) message,
 #: not a protocol payload; the cap keeps a fuzzed byte string from
@@ -95,16 +131,21 @@ _MAX_DEPTH = 32
 _MAP_KEY_TYPES = (bool, int, str, bytes, float, type(None))
 
 
-def encode(payload) -> bytes:
+def encode(payload, arena=None) -> bytes:
     """Encode a protocol payload to bytes.
+
+    With ``arena`` (a :class:`repro.network.shm.ShmArena`), large int64
+    arrays land in the shared pages and the returned bytes carry only
+    references — same-host channels skip shipping array bodies.
 
     Raises:
         ProtocolError: for unsupported payload types.
     """
-    return struct.pack("<BB", MAGIC, VERSION) + _encode_body(payload)
+    return struct.pack("<BB", MAGIC, VERSION) + _encode_body(
+        payload, arena=arena)
 
 
-def _encode_body(payload, depth: int = 0) -> bytes:
+def _encode_body(payload, depth: int = 0, arena=None) -> bytes:
     if depth > _MAX_DEPTH:
         raise ProtocolError(
             f"payload nesting exceeds the wire depth limit ({_MAX_DEPTH})"
@@ -113,16 +154,27 @@ def _encode_body(payload, depth: int = 0) -> bytes:
         return struct.pack("<B", _TAG_NONE)
     if isinstance(payload, np.ndarray):
         if payload.ndim == 2:
-            data = np.ascontiguousarray(payload, dtype=np.int64).tobytes()
+            contiguous = np.ascontiguousarray(payload, dtype=np.int64)
+            if arena is not None and contiguous.nbytes >= _SHM_MIN_BYTES:
+                shm_offset = arena.write_array(contiguous)
+                if shm_offset is not None:
+                    return struct.pack("<BQQQ", _TAG_MATRIX_SHM, shm_offset,
+                                       payload.shape[0], payload.shape[1])
             return struct.pack("<BQQ", _TAG_MATRIX, payload.shape[0],
-                               payload.shape[1]) + data
+                               payload.shape[1]) + contiguous.tobytes()
         if payload.ndim != 1:
             raise ProtocolError(
                 "only 1-D share vectors and 2-D batch matrices travel on "
                 "the wire"
             )
-        data = np.ascontiguousarray(payload, dtype=np.int64).tobytes()
-        return struct.pack("<BQ", _TAG_VECTOR, payload.shape[0]) + data
+        contiguous = np.ascontiguousarray(payload, dtype=np.int64)
+        if arena is not None and contiguous.nbytes >= _SHM_MIN_BYTES:
+            shm_offset = arena.write_array(contiguous)
+            if shm_offset is not None:
+                return struct.pack("<BQQ", _TAG_VECTOR_SHM, shm_offset,
+                                   payload.shape[0])
+        return struct.pack("<BQ", _TAG_VECTOR,
+                           payload.shape[0]) + contiguous.tobytes()
     if isinstance(payload, (bool, np.bool_)):
         # A dedicated tag: booleans round-trip as booleans, never as
         # 0/1 ints (the kernel flag lists — subtract_m, use_pf_s2,
@@ -141,17 +193,17 @@ def _encode_body(payload, depth: int = 0) -> bytes:
     if isinstance(payload, (bytes, bytearray)):
         return struct.pack("<BQ", _TAG_BYTES, len(payload)) + bytes(payload)
     if isinstance(payload, tuple):
-        parts = [_encode_body(item, depth + 1) for item in payload]
+        parts = [_encode_body(item, depth + 1, arena) for item in payload]
         return struct.pack("<BQ", _TAG_TUPLE, len(parts)) + b"".join(parts)
     if isinstance(payload, list):
-        parts = [_encode_body(item, depth + 1) for item in payload]
+        parts = [_encode_body(item, depth + 1, arena) for item in payload]
         return struct.pack("<BQ", _TAG_LIST, len(parts)) + b"".join(parts)
     if isinstance(payload, dict):
         if all(isinstance(key, str) for key in payload):
             parts = []
             for key, value in payload.items():
-                parts.append(_encode_body(key, depth + 1))
-                parts.append(_encode_body(value, depth + 1))
+                parts.append(_encode_body(key, depth + 1, arena))
+                parts.append(_encode_body(value, depth + 1, arena))
             return struct.pack("<BQ", _TAG_DICT, len(payload)) + b"".join(parts)
         # Non-string keys (the extrema rounds key share dicts by owner
         # id): a generic map whose keys are restricted to hashable
@@ -164,8 +216,8 @@ def _encode_body(payload, depth: int = 0) -> bytes:
                     f"wire maps need scalar keys, not "
                     f"{type(key).__name__}"
                 )
-            parts.append(_encode_body(key, depth + 1))
-            parts.append(_encode_body(value, depth + 1))
+            parts.append(_encode_body(key, depth + 1, arena))
+            parts.append(_encode_body(value, depth + 1, arena))
         return struct.pack("<BQ", _TAG_MAP, len(payload)) + b"".join(parts)
     raise ProtocolError(
         f"cannot serialise payload of type {type(payload).__name__}"
@@ -178,12 +230,13 @@ def _int_to_bytes(value: int) -> bytes:
     return value.to_bytes(length, "little")
 
 
-def decode(blob: bytes):
+def decode(blob: bytes, arena=None):
     """Decode bytes produced by :func:`encode`.
 
     Raises:
-        ProtocolError: on a bad magic byte, unknown version/tag, or a
-            truncated body.
+        ProtocolError: on a bad magic byte, unknown version/tag, a
+            truncated body, or a shared-memory reference without (or
+            outside) ``arena``.
     """
     if len(blob) < 2:
         raise ProtocolError("wire message too short for its header")
@@ -192,13 +245,13 @@ def decode(blob: bytes):
         raise ProtocolError(f"bad magic byte 0x{magic:02x}")
     if version != VERSION:
         raise ProtocolError(f"unsupported wire version {version}")
-    payload, offset = _decode_body(blob, 2)
+    payload, offset = _decode_body(blob, 2, arena=arena)
     if offset != len(blob):
         raise ProtocolError(f"{len(blob) - offset} trailing bytes on the wire")
     return payload
 
 
-def _decode_body(blob: bytes, offset: int, depth: int = 0):
+def _decode_body(blob: bytes, offset: int, depth: int = 0, arena=None):
     if depth > _MAX_DEPTH:
         raise ProtocolError(
             f"payload nesting exceeds the wire depth limit ({_MAX_DEPTH})"
@@ -233,8 +286,7 @@ def _decode_body(blob: bytes, offset: int, depth: int = 0):
         end = offset + 8 * length
         if end > len(blob):
             raise ProtocolError("truncated share vector")
-        vector = np.frombuffer(blob[offset:end], dtype="<i8").astype(np.int64)
-        return vector, end
+        return _decode_i64(blob, offset, length), end
     if tag == _TAG_MATRIX:
         try:
             rows, cols = struct.unpack_from("<QQ", blob, offset)
@@ -244,8 +296,25 @@ def _decode_body(blob: bytes, offset: int, depth: int = 0):
         end = offset + 8 * rows * cols
         if end > len(blob):
             raise ProtocolError("truncated share matrix")
-        matrix = np.frombuffer(blob[offset:end], dtype="<i8").astype(np.int64)
+        matrix = _decode_i64(blob, offset, rows * cols)
         return matrix.reshape(rows, cols), end
+    if tag in (_TAG_VECTOR_SHM, _TAG_MATRIX_SHM):
+        if arena is None:
+            raise ProtocolError(
+                "shared-memory frame decoded without an arena: shm "
+                "references must never cross a host boundary")
+        try:
+            if tag == _TAG_VECTOR_SHM:
+                shm_offset, length = struct.unpack_from("<QQ", blob, offset)
+                offset += 16
+                return arena.read_array(shm_offset, length), offset
+            shm_offset, rows, cols = struct.unpack_from("<QQQ", blob, offset)
+            offset += 24
+            matrix = arena.read_array(shm_offset, rows * cols)
+            return matrix.reshape(rows, cols), offset
+        except struct.error:
+            raise ProtocolError(
+                "truncated shared-memory reference") from None
     if tag == _TAG_BIGINT:
         try:
             negative, length = struct.unpack_from("<BQ", blob, offset)
@@ -280,7 +349,7 @@ def _decode_body(blob: bytes, offset: int, depth: int = 0):
         offset += 8
         items = []
         for _ in range(count):
-            item, offset = _decode_body(blob, offset, depth + 1)
+            item, offset = _decode_body(blob, offset, depth + 1, arena)
             items.append(item)
         return (tuple(items) if tag == _TAG_TUPLE else items), offset
     if tag in (_TAG_DICT, _TAG_MAP):
@@ -291,7 +360,7 @@ def _decode_body(blob: bytes, offset: int, depth: int = 0):
         offset += 8
         out = {}
         for _ in range(count):
-            key, offset = _decode_body(blob, offset, depth + 1)
+            key, offset = _decode_body(blob, offset, depth + 1, arena)
             if tag == _TAG_DICT and not isinstance(key, str):
                 raise ProtocolError("wire dicts use string keys")
             if tag == _TAG_MAP and not isinstance(key, _MAP_KEY_TYPES):
@@ -299,7 +368,7 @@ def _decode_body(blob: bytes, offset: int, depth: int = 0):
                     f"wire maps need scalar keys, not "
                     f"{type(key).__name__}"
                 )
-            value, offset = _decode_body(blob, offset, depth + 1)
+            value, offset = _decode_body(blob, offset, depth + 1, arena)
             out[key] = value
         return out, offset
     raise ProtocolError(f"unknown wire tag {tag}")
@@ -333,8 +402,12 @@ class Frame:
 _FRAME_HEADER = struct.Struct("<BBQqq")
 
 
-def encode_frame(kind: str, correlation_id: int, span, payload) -> bytes:
+def encode_frame(kind: str, correlation_id: int, span, payload,
+                 arena=None) -> bytes:
     """Encode one framed message (envelope + codec-encoded payload).
+
+    ``arena`` routes large arrays through shared memory — same-host
+    channels only (see :mod:`repro.network.shm`).
 
     Raises:
         ProtocolError: for a non-string kind, a malformed span, or an
@@ -351,15 +424,16 @@ def encode_frame(kind: str, correlation_id: int, span, payload) -> bytes:
         raise ProtocolError(f"frame span ({lo}, {hi}) is not a χ span")
     header = _FRAME_HEADER.pack(FRAME_MAGIC, VERSION,
                                 int(correlation_id), lo, hi)
-    return header + _encode_body(kind) + _encode_body(payload)
+    return header + _encode_body(kind) + _encode_body(payload, arena=arena)
 
 
-def decode_frame(blob: bytes) -> Frame:
+def decode_frame(blob: bytes, arena=None) -> Frame:
     """Decode one framed message produced by :func:`encode_frame`.
 
     Raises:
         ProtocolError: on a bad frame magic, unknown version, malformed
-            kind/span, truncated body, or trailing bytes.
+            kind/span, truncated body, trailing bytes, or a
+            shared-memory reference without ``arena``.
     """
     if len(blob) < _FRAME_HEADER.size:
         raise ProtocolError("wire frame too short for its envelope")
@@ -373,7 +447,7 @@ def decode_frame(blob: bytes) -> Frame:
     kind, offset = _decode_body(blob, _FRAME_HEADER.size)
     if not isinstance(kind, str) or not kind:
         raise ProtocolError("frame kind must be a non-empty string")
-    payload, offset = _decode_body(blob, offset)
+    payload, offset = _decode_body(blob, offset, arena=arena)
     if offset != len(blob):
         raise ProtocolError(
             f"{len(blob) - offset} trailing bytes after the frame")

@@ -41,6 +41,7 @@ exhausted pool.
 
 from __future__ import annotations
 
+import bisect
 import collections
 import itertools
 import random
@@ -48,7 +49,8 @@ import selectors
 import socket
 import threading
 import time
-from concurrent.futures import Future
+import weakref
+from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeout
 
 from repro.exceptions import ProtocolError, QueryError
@@ -122,6 +124,57 @@ def _replay_journal(conn: "_MuxConnection", frames,
     """Re-send journaled state broadcasts to one (re)joining member."""
     for message in frames:
         conn.request(message).result(timeout)
+
+
+#: Transports whose :class:`~repro.network.transport.TrafficStats`
+#: receive ``swallowed-*`` events (weak, so registering a system never
+#: pins it past its own teardown).
+_EVENT_SINKS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_event_sink(transport) -> None:
+    """Surface deliberately-swallowed dispatch-layer exceptions.
+
+    The handlers that must stay broad (the dispatch loop's survival
+    guard, the pool observability hook) report whatever they catch to
+    every registered transport as a
+    ``swallowed-<site>:<ExceptionType>`` event, so a typed error eaten
+    during eject/respawn shows up in ``TrafficStats`` instead of
+    vanishing.
+    """
+    _EVENT_SINKS.add(transport)
+
+
+def _swallow(where: str, exc: BaseException) -> None:
+    """Count one swallowed exception on every registered sink."""
+    for transport in list(_EVENT_SINKS):
+        try:
+            transport.stats.count_event(
+                f"swallowed-{where}:{type(exc).__name__}")
+        except Exception:  # noqa: BLE001 - the sink must never re-raise
+            pass
+
+
+def _journal_key(message: RpcMessage):
+    """Compaction key of a journaled frame, or ``None`` (keep forever).
+
+    ``ServerStore.put`` *replaces* the stored column, so a later
+    ``receive_shares`` for the same ``(owner, column, kind)`` makes the
+    earlier frame dead weight: replaying only the survivor re-creates
+    the exact replica state.  Channels use this to drop superseded
+    frames instead of growing the journal by one frame per outsourcing
+    round for the life of the pool.  ``__construct__`` frames (and any
+    frame whose payload does not look like the ``receive_shares`` wire
+    shape) have no key and are never compacted away.
+    """
+    if message.kind != "receive_shares":
+        return None
+    payload = message.payload
+    args = payload.get("a") if isinstance(payload, dict) else None
+    if not isinstance(args, (list, tuple)) or len(args) < 4:
+        return None
+    owner_id, column, _values, kind = args[:4]
+    return (message.kind, owner_id, column, str(kind))
 
 
 def _parse_address(label: str) -> tuple[str, int]:
@@ -213,10 +266,12 @@ class DispatchLoop:
         while True:
             try:
                 self._tick()
-            except Exception:
+            except Exception as exc:
                 # The loop must survive anything a single connection
-                # does; the connection's own error paths report to its
-                # callers.
+                # does (the connection's own error paths report to its
+                # callers) — but what it survived is still surfaced to
+                # the traffic stats, never silently dropped.
+                _swallow("dispatch-loop", exc)
                 continue
 
     def _tick(self) -> None:  # pragma: no cover - exercised via sockets
@@ -227,8 +282,10 @@ class DispatchLoop:
                 op = self._ops.popleft()
             try:
                 op()
-            except Exception:
-                pass
+            except (KeyError, ValueError, OSError) as exc:
+                # Selector (un)registration raced a dying fd; anything
+                # else propagates to _run's survival guard above.
+                _swallow("selector-op", exc)
         for key in list(self._selector.get_map().values()):
             conn = key.data
             if conn is None:
@@ -275,6 +332,12 @@ class _MuxConnection:
         self._lock = threading.Lock()
         self._outbox = bytearray()
         self._rx = bytearray()
+        # Preallocated receive window: ``recv_into`` here instead of a
+        # fresh 1 MiB ``recv`` allocation per read.  Only the loop
+        # thread touches it, and ``receive_bytes`` copies the filled
+        # span into the reassembly buffer before the next read can
+        # overwrite the window.
+        self._recv_buf = bytearray(_RECV_CHUNK) if sock is not None else None
         self._pending: dict[int, Future] = {}
         self._ids = itertools.count(1)
         self._dead: Exception | None = None
@@ -349,32 +412,40 @@ class _MuxConnection:
 
     def on_readable(self) -> None:
         """Drain the socket into the reassembly buffer (loop thread)."""
+        window = self._recv_buf
+        if window is None:
+            window = self._recv_buf = bytearray(_RECV_CHUNK)
+        view = memoryview(window)
         while True:
             try:
-                data = self.sock.recv(_RECV_CHUNK)
+                received = self.sock.recv_into(window)
             except (BlockingIOError, InterruptedError):
                 return
             except OSError as exc:
                 self.connection_lost(ConnectionLost(
                     f"connection to entity host {self.label} failed: {exc}"))
                 return
-            if not data:
+            if not received:
                 self.connection_lost(ConnectionLost(
                     f"entity host {self.label} closed the connection with "
                     f"{self.in_flight} request(s) in flight"))
                 return
             try:
-                self.receive_bytes(data)
+                self.receive_bytes(view[:received])
             except ProtocolError as exc:
                 self.connection_lost(exc)
                 return
-            if len(data) < _RECV_CHUNK:
+            if received < _RECV_CHUNK:
                 return
 
     # -- protocol logic (socket-free, property-tested) ------------------------
 
-    def receive_bytes(self, data: bytes) -> None:
-        """Feed received bytes; delivers every completed frame.
+    def receive_bytes(self, data) -> None:
+        """Feed received bytes (any bytes-like); delivers every completed
+        frame.  Views into a reused receive window are safe: the span is
+        appended (copied) into the reassembly buffer immediately, and
+        completed frames are sliced out as immutable ``bytes`` before
+        the zero-copy decoder ever sees them.
 
         Raises:
             ProtocolError: on a malformed length prefix or frame
@@ -438,7 +509,7 @@ class _MuxConnection:
         for future in pending:
             try:
                 future.set_exception(exc)
-            except Exception:
+            except InvalidStateError:
                 pass  # completed concurrently by a late delivery
         if self._loop is not None:
             self._loop.detach(self)
@@ -577,8 +648,20 @@ class SocketChannel(Channel):
         return self.send_async(message).result(timeout)
 
     def send_async(self, message: RpcMessage) -> PendingReply:
-        """Pipeline one request; returns immediately."""
+        """Pipeline one request; returns immediately.
+
+        Journaled kinds compact: a frame superseded by this one (same
+        :func:`_journal_key`) is dropped, keeping the journal bounded
+        by the number of *distinct* stored columns rather than the
+        total number of outsourcing rounds.
+        """
         if message.kind in JOURNAL_KINDS:
+            key = _journal_key(message)
+            if key is not None:
+                for index, old in enumerate(self.journal):
+                    if _journal_key(old) == key:
+                        del self.journal[index]
+                        break
             self.journal.append(message)
         return self._conn.request(message)
 
@@ -653,7 +736,11 @@ class _PoolMember:
         self.slot = slot
         self.address = address
         self.conn = conn
-        #: How many journal frames this member's host has applied.
+        #: Sequence id of the newest journaled frame this member's host
+        #: has applied (``PooledChannel._journal_seqs``).  Ids are
+        #: stable across journal compaction — a positional index would
+        #: shift every time a superseded frame is dropped — so a warm
+        #: rejoin replays exactly the surviving frames past this mark.
         self.journal_applied = 0
         self.ejected_at: float | None = None
         self.probe_at = 0.0
@@ -729,8 +816,16 @@ class PooledChannel(Channel):
             for slot, conn in enumerate(members)]
         self.request_timeout = request_timeout
         self.probe_timeout = probe_timeout
-        #: State-establishing frames in send order (see JOURNAL_KINDS).
+        #: State-establishing frames in send order (see JOURNAL_KINDS),
+        #: compacted: a ``receive_shares`` superseded by a later one for
+        #: the same column is dropped (:meth:`_journal_append`).
         self.journal: list[RpcMessage] = []
+        #: Strictly-increasing sequence id per surviving journal frame
+        #: (parallel to :attr:`journal`); rejoin bookkeeping uses these
+        #: because compaction shifts positions but never reorders.
+        self._journal_seqs: list[int] = []
+        self._journal_next_seq = 1
+        self._journal_compacted = 0
         #: Optional ``callable(event, member_label)`` observability hook
         #: fired on "eject" / "rejoin" / "failover" transitions.
         self.on_event = None
@@ -783,8 +878,10 @@ class PooledChannel(Channel):
         if hook is not None:
             try:
                 hook(event, member.label)
-            except Exception:
-                pass  # observability must never fail a query
+            except Exception as exc:  # noqa: BLE001 - hook is user code
+                # Observability must never fail a query — but what the
+                # hook raised is itself worth observing.
+                _swallow("pool-event-hook", exc)
 
     def _eject(self, member: _PoolMember, exc: Exception) -> None:
         """Open the circuit breaker on a dead seat (idempotent)."""
@@ -863,7 +960,8 @@ class PooledChannel(Channel):
             self.rejoin(member.slot, warm_from=member.journal_applied,
                         connect_timeout=PROBE_CONNECT_TIMEOUT)
             return True
-        except (ProtocolError, QueryError, OSError):
+        except (ProtocolError, QueryError, OSError) as exc:
+            _swallow("rejoin-probe", exc)
             with self._lock:
                 member.probe_at = time.monotonic() + member.backoff
                 member.backoff = min(member.backoff * 2, EJECT_BACKOFF_CAP)
@@ -876,31 +974,38 @@ class PooledChannel(Channel):
 
         Called by half-open probes (same address, host survived or was
         externally restarted on its port) and by the supervisor after a
-        respawn (new ``address``, fresh process, ``warm_from=0``).  The
-        journaled state broadcasts past ``warm_from`` are replayed and a
-        ping verified before the seat is swapped in; if broadcasts land
-        concurrently the replay loops until the journal is caught up.
+        respawn (new ``address``, fresh process, ``warm_from=0``).
+        ``warm_from`` is a journal *sequence id* (``0`` = replay
+        everything): the surviving journaled broadcasts past it are
+        replayed and a ping verified before the seat is swapped in; if
+        broadcasts land concurrently the replay loops until the journal
+        is caught up.
         """
         member = self._members[slot]
         host, port = address if address is not None else member.address
         sock = _connect_retry(host, int(port), connect_timeout)
         conn = _MuxConnection(sock, f"{host}:{port}", DispatchLoop.shared())
         try:
-            applied = warm_from
+            applied_seq = int(warm_from)
             while True:
                 with self._lock:
-                    missing = self.journal[applied:]
+                    start = bisect.bisect_right(self._journal_seqs,
+                                                applied_seq)
+                    missing = self.journal[start:]
+                    newest_seq = (self._journal_seqs[-1]
+                                  if self._journal_seqs else 0)
                 if missing:
                     _replay_journal(conn, missing, self.request_timeout)
-                    applied += len(missing)
+                    applied_seq = newest_seq
                     continue
                 conn.request(RpcMessage(PING)).result(_lifecycle_timeout(
                     self.request_timeout, self.probe_timeout))
                 with self._lock:
-                    if len(self.journal) > applied:
+                    if (self._journal_seqs
+                            and self._journal_seqs[-1] > applied_seq):
                         continue  # a broadcast raced the ping; catch up
                     old = member.replace_conn(conn, (host, int(port)))
-                    member.journal_applied = applied
+                    member.journal_applied = applied_seq
                     member.ejected_at = None
                     member.backoff = EJECT_BACKOFF_BASE
                     self._rejoins += 1
@@ -990,13 +1095,35 @@ class PooledChannel(Channel):
                 self._count_failover(member, retransmit=True)
                 member, pending = self._issue(message)
 
+    def _journal_append(self, message: RpcMessage) -> int:
+        """Journal one frame (caller holds ``self._lock``); returns its seq.
+
+        Compacts first: if an earlier frame carries the same
+        :func:`_journal_key`, it is superseded and dropped.  Member
+        ``journal_applied`` marks are sequence ids, not positions, so
+        the deletion needs no per-member rebasing — the ids of the
+        surviving frames are untouched.
+        """
+        key = _journal_key(message)
+        if key is not None:
+            for index, old in enumerate(self.journal):
+                if _journal_key(old) == key:
+                    del self.journal[index]
+                    del self._journal_seqs[index]
+                    self._journal_compacted += 1
+                    break
+        seq = self._journal_next_seq
+        self._journal_next_seq += 1
+        self.journal.append(message)
+        self._journal_seqs.append(seq)
+        return seq
+
     def _broadcast(self, message: RpcMessage) -> RpcMessage:
         """Deliver a state change to every live member (journaling it)."""
-        journal_index = None
+        journal_seq = None
         if message.kind in JOURNAL_KINDS:
             with self._lock:
-                self.journal.append(message)
-                journal_index = len(self.journal)
+                journal_seq = self._journal_append(message)
         live = self._live()
         if not live:
             self._pick_live(None)  # resurrect an ejected seat or raise
@@ -1019,9 +1146,9 @@ class PooledChannel(Channel):
                 if remote_error is None:
                     remote_error = exc
                 continue
-            if journal_index is not None:
+            if journal_seq is not None:
                 member.journal_applied = max(member.journal_applied,
-                                             journal_index)
+                                             journal_seq)
             if reply is None:
                 reply = result
         if remote_error is not None:
@@ -1089,6 +1216,7 @@ class PooledChannel(Channel):
                 "ejections": self._ejections,
                 "rejoins": self._rejoins,
                 "journal_frames": len(self.journal),
+                "journal_compacted": self._journal_compacted,
                 "members": members,
             }
 

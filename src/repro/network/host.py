@@ -363,10 +363,21 @@ def build_adapter(payload) -> ServerAdapter:
 
 
 class EntityHost:
-    """Serves framed requests from a stream onto one entity adapter."""
+    """Serves framed requests from a stream onto one entity adapter.
 
-    def __init__(self, adapter: ServerAdapter | None = None):
+    ``recv_arena``/``send_arena`` attach the shared-memory fast path of
+    a same-host (``"shm"``) deployment: requests decode array payloads
+    out of ``recv_arena`` and replies encode theirs into ``send_arena``
+    (reset per reply — the serial protocol guarantees the previous
+    reply was consumed).  Both default to ``None`` for TCP hosts, where
+    frames stay fully inline.
+    """
+
+    def __init__(self, adapter: ServerAdapter | None = None,
+                 recv_arena=None, send_arena=None):
         self.adapter = adapter
+        self.recv_arena = recv_arena
+        self.send_arena = send_arena
 
     def serve_stream(self, sock: socket.socket) -> bool:
         """Serve one connection until EOF or shutdown.
@@ -380,7 +391,7 @@ class EntityHost:
             if blob is None:
                 return True
             try:
-                frame = decode_frame(blob)
+                frame = decode_frame(blob, arena=self.recv_arena)
             except ProtocolError as exc:
                 self._reply(sock, RpcMessage(
                     ERROR, {"type": "ProtocolError", "message": str(exc)}))
@@ -414,19 +425,30 @@ class EntityHost:
                 continue
             self._reply(sock, self.adapter.dispatch(message))
 
-    @staticmethod
-    def _reply(sock: socket.socket, reply: RpcMessage) -> None:
+    def _reply(self, sock: socket.socket, reply: RpcMessage) -> None:
+        arena = self.send_arena
+        if arena is not None:
+            arena.reset()
         send_frame(sock, encode_frame(reply.kind, reply.correlation_id,
-                                      reply.span, reply.payload))
+                                      reply.span, reply.payload,
+                                      arena=arena))
 
 
-def child_serve(sock: socket.socket, entity_factory) -> None:
-    """Entry point of a :class:`SubprocessChannel` child (post-fork)."""
+def child_serve(sock: socket.socket, entity_factory,
+                recv_arena=None, send_arena=None) -> None:
+    """Entry point of a :class:`SubprocessChannel` child (post-fork).
+
+    The arenas (mapped by the parent *before* the fork, so the pages
+    are shared) carry the ``"shm"`` deployment's array payloads:
+    ``recv_arena`` is where the parent encodes request vectors,
+    ``send_arena`` where this child encodes reply vectors.
+    """
     adapter = None
     if entity_factory is not None:
         adapter = adapter_for(entity_factory())
     try:
-        EntityHost(adapter).serve_stream(sock)
+        EntityHost(adapter, recv_arena=recv_arena,
+                   send_arena=send_arena).serve_stream(sock)
     finally:
         try:
             sock.close()

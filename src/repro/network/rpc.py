@@ -106,17 +106,20 @@ def recv_frame(sock: socket.socket) -> bytes | None:
 
 
 def _recv_exact(sock: socket.socket, n: int, allow_eof: bool) -> bytes | None:
-    chunks = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
-            if allow_eof and remaining == n:
+    # One preallocated frame-sized buffer filled in place (no per-recv
+    # chunk allocations, no join); the single ``bytes()`` at the end
+    # buys the immutability the zero-copy decoders key on.
+    buf = bytearray(n)
+    view = memoryview(buf)
+    received = 0
+    while received < n:
+        got = sock.recv_into(view[received:received + (1 << 20)])
+        if not got:
+            if allow_eof and received == 0:
                 return None
             raise ProtocolError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        received += got
+    return bytes(buf)
 
 
 # -- the deployment spec ------------------------------------------------------
@@ -128,8 +131,11 @@ class Deployment:
 
     Attributes:
         mode: ``"local"`` (in-process, zero-copy), ``"subprocess"``
-            (forked entity hosts, frames over pipes), or ``"tcp"``
-            (standalone ``repro-entity-host`` processes).
+            (forked entity hosts, frames over pipes), ``"shm"``
+            (forked hosts whose share vectors travel through pre-fork
+            shared-memory arenas instead of the socket — see
+            :mod:`repro.network.shm`), or ``"tcp"`` (standalone
+            ``repro-entity-host`` processes).
         pools: for ``tcp``, one host *pool* per server role — a tuple
             of ``(host, port)`` replicas all holding the same role's
             state.  A pool of one is the classic single-host role.
@@ -160,8 +166,8 @@ class Deployment:
         """Parse a deployment declaration.
 
         Accepts a :class:`Deployment` (returned as-is), ``"local"``,
-        ``"subprocess"``, or a ``tcp://`` spec with one address list
-        per server role.  Two tcp shapes:
+        ``"subprocess"``, ``"shm"``, or a ``tcp://`` spec with one
+        address list per server role.  Two tcp shapes:
 
         * ``"tcp://h1:p1,h2:p2,h3:p3"`` — the historical form: exactly
           ``num_servers`` comma-separated addresses, one host per role.
@@ -180,7 +186,7 @@ class Deployment:
                 f"deployment must be a string or Deployment, not "
                 f"{type(spec).__name__}"
             )
-        if spec in ("local", "subprocess"):
+        if spec in ("local", "subprocess", "shm"):
             return cls(mode=spec)
         if spec.startswith("tcp://"):
             body = spec[len("tcp://"):]
@@ -208,7 +214,7 @@ class Deployment:
             return cls(mode="tcp", pools=tuple(pools))
         raise ParameterError(
             f"unknown deployment {spec!r}; expected 'local', 'subprocess', "
-            f"or 'tcp://host:port,...'"
+            f"'shm', or 'tcp://host:port,...'"
         )
 
 
@@ -342,6 +348,11 @@ class _StreamChannel(Channel):
         self._bytes_sent = 0
         self._bytes_received = 0
         self._closed = False
+        # Shared-memory arenas of a same-host channel (request payloads
+        # outbound, reply payloads inbound); ``None`` keeps the classic
+        # all-inline wire shape.  See repro.network.shm.
+        self._tx_arena = None
+        self._rx_arena = None
 
     def send(self, message: RpcMessage) -> RpcMessage:
         # One in-flight request per channel: the lock serialises
@@ -351,8 +362,13 @@ class _StreamChannel(Channel):
             if self._closed:
                 raise ProtocolError("channel is closed")
             correlation_id = next(self._ids)
+            if self._tx_arena is not None:
+                # Strictly serial protocol: the previous reply proved
+                # the previous request frame was fully decoded, so its
+                # arena allocations are reclaimable.
+                self._tx_arena.reset()
             blob = encode_frame(message.kind, correlation_id, message.span,
-                                message.payload)
+                                message.payload, arena=self._tx_arena)
             self._bytes_sent += send_frame(self._sock, blob)
             reply_blob = recv_frame(self._sock)
             if reply_blob is None:
@@ -362,7 +378,16 @@ class _StreamChannel(Channel):
                 )
             self._bytes_received += len(reply_blob) + _LENGTH.size
             self._requests += 1
-        frame = decode_frame(reply_blob)
+            if self._rx_arena is not None:
+                # Copy-out must finish before the lock releases: the
+                # *next* request is what triggers the host's
+                # reply-arena reset, and the lock is what orders it
+                # after this decode.
+                frame = decode_frame(reply_blob, arena=self._rx_arena)
+            else:
+                frame = None
+        if frame is None:
+            frame = decode_frame(reply_blob)
         # Error replies surface first: a host that could not decode the
         # request replies with correlation id 0 (it never learned ours),
         # and the real diagnostic beats a correlation-mismatch report.
@@ -408,8 +433,15 @@ class SubprocessChannel(_StreamChannel):
         self.process = process
 
     @classmethod
-    def spawn(cls, entity_factory) -> "SubprocessChannel":
+    def spawn(cls, entity_factory,
+              shm_bytes: int | None = None) -> "SubprocessChannel":
         """Fork a child hosting ``entity_factory()``; frames over a pipe.
+
+        With ``shm_bytes``, a pair of shared-memory arenas (request and
+        reply payloads) is mapped *before* the fork so both processes
+        share the pages: large share vectors stop riding the socket and
+        travel as 24-byte arena references instead (the ``"shm"``
+        deployment mode).  ``None`` keeps the classic all-inline frames.
 
         Raises:
             ParameterError: on platforms without ``fork`` (use
@@ -421,14 +453,23 @@ class SubprocessChannel(_StreamChannel):
                 "use deployment='local' or 'tcp://...' on this platform"
             )
         from repro.network.host import child_serve
+        tx_arena = rx_arena = None
+        if shm_bytes is not None:
+            from repro.network.shm import ShmArena
+            tx_arena = ShmArena(shm_bytes)
+            rx_arena = ShmArena(shm_bytes)
         parent_sock, child_sock = socket.socketpair()
         context = multiprocessing.get_context("fork")
         process = context.Process(
-            target=child_serve, args=(child_sock, entity_factory),
+            target=child_serve,
+            args=(child_sock, entity_factory, tx_arena, rx_arena),
             name="repro-entity-host", daemon=True)
         process.start()
         child_sock.close()
-        return cls(parent_sock, process)
+        channel = cls(parent_sock, process)
+        channel._tx_arena = tx_arena
+        channel._rx_arena = rx_arena
+        return channel
 
     def close(self) -> None:
         if self._closed:
@@ -443,6 +484,9 @@ class SubprocessChannel(_StreamChannel):
             if self.process.is_alive():
                 self.process.terminate()
                 self.process.join(timeout=10)
+        for arena in (self._tx_arena, self._rx_arena):
+            if arena is not None:
+                arena.close()
 
 
 def __getattr__(name: str):

@@ -23,6 +23,8 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.exceptions import ProtocolError, QueryError
+from repro.network.dispatch import _swallow
 from repro.network.host import launch_forked_member
 
 #: Respawn backoff: first retry after the base delay, doubling per
@@ -37,15 +39,15 @@ def _reap(processes) -> None:
         try:
             if process.is_alive():
                 process.terminate()
-        except Exception:
-            pass
+        except (OSError, ValueError, AssertionError):
+            pass  # never started, already closed, or already reaped
     for process in processes:
         try:
             process.join(timeout=5.0)
             if process.is_alive():
                 process.kill()
                 process.join(timeout=5.0)
-        except Exception:
+        except (OSError, ValueError, AssertionError):
             pass
 
 
@@ -119,10 +121,11 @@ class HostSupervisor:
         while not self._closing.wait(self.poll_interval):
             try:
                 self.poll()
-            except Exception:
+            except Exception as exc:  # noqa: BLE001 - loop must survive
                 # The watch loop must survive anything a single respawn
-                # attempt does; backoff state limits retry pressure.
-                pass
+                # attempt does (backoff state limits retry pressure),
+                # but the cause lands in the traffic stats, not a void.
+                _swallow("supervisor-poll", exc)
 
     def poll(self) -> None:
         """One supervision pass (public for deterministic tests)."""
@@ -157,7 +160,12 @@ class HostSupervisor:
         try:
             seat.channel.rejoin(seat.slot, address, warm_from=0,
                                 connect_timeout=5.0)
-        except Exception:
+        except (ProtocolError, QueryError, OSError) as exc:
+            # Expected respawn failures retry with backoff — surfaced,
+            # not silent.  Anything *typed but unexpected* (AuthError,
+            # a decode bug) propagates to the watch-loop guard instead
+            # of being mistaken for a flaky host.
+            _swallow("supervisor-respawn", exc)
             _reap([process])
             with self._lock:
                 self._respawn_failures += 1
@@ -177,8 +185,8 @@ class HostSupervisor:
         if hook is not None:
             try:
                 hook("respawn", seat.label)
-            except Exception:
-                pass
+            except Exception as exc:  # noqa: BLE001 - hook is user code
+                _swallow("supervisor-hook", exc)
 
     def process_for(self, role: int, slot: int):
         """The live process currently seated at ``(role, slot)``."""

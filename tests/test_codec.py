@@ -529,3 +529,129 @@ class TestReplyMultiplexer:
         _issue(conn, 1)
         with pytest.raises(ProtocolError, match="wire cap"):
             conn.receive_bytes(struct.pack("<Q", 1 << 60) + b"x")
+
+
+# -- zero-copy decode ----------------------------------------------------------
+
+
+def _buffer_address(buf) -> int:
+    return np.frombuffer(buf, dtype=np.uint8).__array_interface__["data"][0]
+
+
+@pytest.mark.skipif(__import__("sys").byteorder != "little",
+                    reason="zero-copy views are little-endian only")
+class TestZeroCopyDecode:
+    """Decoding a share vector must not copy it (the hot-path fix).
+
+    An immutable ``bytes`` frame backs the returned read-only array
+    directly; the regression asserts the array's data pointer lies
+    *inside* the frame buffer, so any reintroduced ``.astype``/copy
+    fails loudly.
+    """
+
+    def test_vector_decode_is_a_view_into_the_frame(self):
+        vec = np.arange(4096, dtype=np.int64)
+        blob = encode(vec)
+        out = decode(blob)
+        base, addr = _buffer_address(blob), out.__array_interface__["data"][0]
+        assert base <= addr < base + len(blob), "decode copied the vector"
+        assert not out.flags.writeable
+        np.testing.assert_array_equal(out, vec)
+
+    def test_matrix_decode_is_a_view_into_the_frame(self):
+        matrix = np.arange(64 * 32, dtype=np.int64).reshape(64, 32)
+        blob = encode(matrix)
+        out = decode(blob)
+        base, addr = _buffer_address(blob), out.__array_interface__["data"][0]
+        assert base <= addr < base + len(blob), "decode copied the matrix"
+        np.testing.assert_array_equal(out, matrix)
+
+    def test_framed_vector_decode_is_a_view(self):
+        vec = np.arange(2048, dtype=np.int64)
+        blob = encode_frame("receive_shares", 7, FULL_SPAN,
+                            {"a": [vec], "k": {}})
+        out = decode_frame(blob).payload["a"][0]
+        base, addr = _buffer_address(blob), out.__array_interface__["data"][0]
+        assert base <= addr < base + len(blob), "frame decode copied"
+
+    def test_mutable_buffers_copy_defensively(self):
+        # A bytearray is a reused receive window: a view into it would
+        # be corrupted by the next read, so the decoder must copy.
+        vec = np.arange(512, dtype=np.int64)
+        window = bytearray(encode(vec))
+        out = decode(window)
+        window[-8:] = b"\xff" * 8  # clobber the window post-decode
+        np.testing.assert_array_equal(out, vec)
+
+
+# -- shared-memory frames ------------------------------------------------------
+
+
+class TestShmFrames:
+    def _arena(self, size=1 << 20):
+        from repro.network.shm import ShmArena
+        return ShmArena(size)
+
+    def test_large_vector_rides_the_arena(self):
+        arena = self._arena()
+        vec = np.arange(5000, dtype=np.int64)  # 40 KB, above threshold
+        blob = encode_frame("receive_shares", 1, FULL_SPAN,
+                            {"a": [vec], "k": {}}, arena=arena)
+        # The socket frame carries a constant-size reference, not 40 KB.
+        assert len(blob) < 256
+        frame = decode_frame(blob, arena=arena)
+        np.testing.assert_array_equal(frame.payload["a"][0], vec)
+        arena.close()
+
+    def test_matrix_rides_the_arena(self):
+        arena = self._arena()
+        matrix = np.arange(300 * 7, dtype=np.int64).reshape(300, 7)
+        blob = encode_frame("m", 2, FULL_SPAN, matrix, arena=arena)
+        assert len(blob) < 256
+        out = decode_frame(blob, arena=arena).payload
+        assert out.shape == (300, 7)
+        np.testing.assert_array_equal(out, matrix)
+        arena.close()
+
+    def test_small_payload_stays_inline(self):
+        arena = self._arena()
+        vec = np.arange(16, dtype=np.int64)  # below _SHM_MIN_BYTES
+        blob = encode_frame("m", 3, FULL_SPAN, vec, arena=arena)
+        # Inline frames need no arena to decode.
+        np.testing.assert_array_equal(decode_frame(blob).payload, vec)
+        arena.close()
+
+    def test_shm_frame_without_arena_is_a_typed_error(self):
+        # An shm reference must never cross a host boundary: decoding
+        # one without an arena is a protocol violation, not a crash.
+        arena = self._arena()
+        vec = np.arange(5000, dtype=np.int64)
+        blob = encode_frame("m", 4, FULL_SPAN, vec, arena=arena)
+        with pytest.raises(ProtocolError, match="arena"):
+            decode_frame(blob)
+        arena.close()
+
+    def test_full_arena_falls_back_inline(self):
+        arena = self._arena(size=4096)
+        vec = np.arange(5000, dtype=np.int64)  # 40 KB > 4 KB arena
+        blob = encode_frame("m", 5, FULL_SPAN, vec, arena=arena)
+        # Fallback emitted the plain inline tag: decodes with no arena.
+        np.testing.assert_array_equal(decode_frame(blob).payload, vec)
+        arena.close()
+
+    def test_out_of_bounds_reference_rejected(self):
+        arena = self._arena(size=4096)
+        with pytest.raises(ProtocolError, match="arena"):
+            arena.read_array(offset=4000, count=100)
+        with pytest.raises(ProtocolError, match="arena"):
+            arena.read_array(offset=-8, count=1)
+        arena.close()
+
+    def test_reset_reuses_the_arena(self):
+        arena = self._arena(size=1 << 16)
+        vec = np.arange(4096, dtype=np.int64)  # 32 KB, half the arena
+        first = arena.write_array(vec)
+        assert arena.write_array(vec) != first  # bump allocation
+        arena.reset()
+        assert arena.write_array(vec) == first  # per-frame scratch
+        arena.close()

@@ -269,3 +269,71 @@ class TestPoolFaults:
                 process.terminate()
             for process in processes:
                 process.join(timeout=10)
+
+
+# -- journal compaction ---------------------------------------------------------
+
+
+@needs_fork
+class TestJournalCompaction:
+    """A long-lived pool's broadcast journal must stay bounded.
+
+    Every re-outsourcing re-broadcasts ``receive_shares`` for the same
+    ``(owner, column, kind)`` keys; without compaction the journal grows
+    by one frame per share column per round forever.  Compaction drops
+    the superseded frames — and because ``journal_applied`` marks are
+    stable sequence ids, a warm rejoin after heavy compaction still
+    replays exactly the surviving state.
+    """
+
+    def test_long_lived_pool_journal_stays_bounded(self, expected,
+                                                   eager_spans):
+        pools, processes = launch_forked_pools([2, 1, 1])
+        try:
+            with build(pools_spec(pools)) as system:
+                channel = system._channels[0]
+                baseline_frames = channel.stats["journal_frames"]
+                old_applied = channel._members[1].journal_applied
+                assert run_batchable(system) == expected["batch"]
+                rounds = 5
+                for _ in range(rounds):
+                    system.outsource("k", ("amt",), with_verification=True)
+                stats = channel.stats
+                # Bounded: every superseded receive_shares was dropped.
+                assert stats["journal_frames"] == baseline_frames
+                # One compaction per re-broadcast share column.
+                assert stats["journal_compacted"] >= rounds
+                # Warm rejoin from a pre-compaction mark: the surviving
+                # (newest) frames replay and the seat serves correct
+                # bits — the seq-id bookkeeping survived compaction.
+                # (Eject first: the host serves one stream at a time,
+                # so a rejoin can only follow a dropped connection.)
+                from repro.network.dispatch import ConnectionLost
+                member = channel._members[1]
+                channel._eject(member, ConnectionLost("test: forced eject"))
+                channel.rejoin(1, warm_from=old_applied)
+                assert channel._members[1].journal_applied == \
+                    channel._journal_seqs[-1]
+                assert run_batchable(system) == expected["batch"]
+                assert channel.health()["status"] == "ok"
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join(timeout=10)
+
+    def test_construct_frames_never_compact(self, eager_spans):
+        pools, processes = launch_forked_pools([1, 1, 1])
+        try:
+            with build(pools_spec(pools)) as system:
+                channel = system._channels[0]
+                kinds = [m.kind for m in channel.journal]
+                assert "__construct__" in kinds
+                system.outsource("k", ("amt",), with_verification=True)
+                assert [m.kind for m in channel.journal].count(
+                    "__construct__") == kinds.count("__construct__")
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join(timeout=10)

@@ -125,3 +125,43 @@ class TestMessageRetention:
         t.reset()  # keeps the configured retention
         t.transfer(OWNER0, SERVER0, "c", [1])
         assert [m.kind for m in t.stats.messages] == ["c"]
+
+
+class TestSwallowedEventSink:
+    """Exceptions the dispatch/supervision layer must absorb (a probe
+    failing, an observability hook raising) are no longer invisible:
+    they surface as ``swallowed-*`` event counters on every registered
+    transport's :class:`TrafficStats`."""
+
+    def test_swallowed_exceptions_surface_as_events(self):
+        from repro.network import dispatch
+
+        t = LocalTransport()
+        dispatch.register_event_sink(t)
+        dispatch._swallow("unit-test", ValueError("boom"))
+        dispatch._swallow("unit-test", ValueError("again"))
+        dispatch._swallow("other-site", OSError("gone"))
+        events = t.stats.events
+        assert events["swallowed-unit-test:ValueError"] == 2
+        assert events["swallowed-other-site:OSError"] == 1
+
+    def test_sink_registration_is_weak(self):
+        import gc
+
+        from repro.network import dispatch
+
+        t = LocalTransport()
+        dispatch.register_event_sink(t)
+        del t
+        gc.collect()
+        # A dead sink must neither raise nor leak: counting proceeds.
+        dispatch._swallow("after-gc", RuntimeError("no sink left"))
+
+    def test_system_transport_is_a_sink(self):
+        from repro.network import dispatch
+        from tests.conftest import make_system
+
+        with make_system([[1, 2], [2, 3]]) as system:
+            dispatch._swallow("system-level", KeyError("k"))
+            assert system.transport.stats.events[
+                "swallowed-system-level:KeyError"] >= 1

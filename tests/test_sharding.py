@@ -366,14 +366,19 @@ class TestAutoShards:
         assert auto_shard_plan(10**6, cpu_count=1) == (1, False)
 
     def test_scales_with_rows_then_caps_at_cores(self):
+        from repro import kernels
         from repro.core.sharding import (
             AUTO_ROWS_PER_SHARD,
             auto_shard_plan,
         )
-        shards, _ = auto_shard_plan(2 * AUTO_ROWS_PER_SHARD, cpu_count=8)
-        assert shards == 2
-        shards, _ = auto_shard_plan(100 * AUTO_ROWS_PER_SHARD, cpu_count=4)
-        assert shards == 4
+        kernels.configure("off")  # plain thresholds (REPRO_KERNELS=c scales them)
+        try:
+            shards, _ = auto_shard_plan(2 * AUTO_ROWS_PER_SHARD, cpu_count=8)
+            assert shards == 2
+            shards, _ = auto_shard_plan(100 * AUTO_ROWS_PER_SHARD, cpu_count=4)
+            assert shards == 4
+        finally:
+            kernels.configure(None)
 
     def test_worker_mode_needs_large_sweeps(self):
         from repro.core.sharding import (
@@ -385,6 +390,27 @@ class TestAutoShards:
         assert workers is False
         _, workers = auto_shard_plan(4 * AUTO_WORKER_MIN_ROWS, cpu_count=8)
         assert workers is processes_available()
+
+    def test_compiled_tier_pushes_the_crossover_out(self):
+        from repro import kernels
+        from repro.core.sharding import (
+            AUTO_NATIVE_ROWS_FACTOR,
+            AUTO_ROWS_PER_SHARD,
+            auto_shard_plan,
+        )
+        if not kernels.available():
+            pytest.skip("compiled kernel tier unavailable")
+        rows = 2 * AUTO_ROWS_PER_SHARD  # shards under numpy costs ...
+        try:
+            kernels.configure("off")
+            assert auto_shard_plan(rows, cpu_count=8)[0] == 2
+            assert kernels.configure("c") == "c"
+            # ... stays unsharded with the cheaper compiled rows.
+            assert auto_shard_plan(rows, cpu_count=8) == (1, False)
+            scaled = 2 * AUTO_NATIVE_ROWS_FACTOR * AUTO_ROWS_PER_SHARD
+            assert auto_shard_plan(scaled, cpu_count=8)[0] == 2
+        finally:
+            kernels.configure(None)
 
     def test_system_accepts_auto(self):
         system = make_system([{1, 2, 3}, {2, 3, 4}], num_shards="auto")
